@@ -1,0 +1,24 @@
+// Command pathload-snd is the real-network pathload sender daemon. Run
+// it at the path's source host; it waits for a pathload-rcv to connect
+// on the TCP control port and emits periodic UDP probe streams on
+// request.
+//
+//	pathload-snd -listen :8365
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/udprobe"
+)
+
+func main() {
+	listen := flag.String("listen", ":8365", "TCP control listen address")
+	flag.Parse()
+
+	log.SetPrefix("pathload-snd: ")
+	if err := udprobe.ListenAndServe(*listen, udprobe.SenderConfig{Logf: log.Printf}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,22 @@
+// btc contrasts a greedy TCP bulk transfer with pathload as avail-bw
+// "measurement" instruments (the paper's §VII–§VIII): the TCP transfer
+// roughly tracks the avail-bw but saturates the path, inflates RTTs by
+// ≈70–100%, and steals bandwidth from competing TCP flows; pathload
+// estimates the same quantity while leaving the path undisturbed.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	opt := experiments.Options{Scale: 0.2, Seed: 11}
+
+	fmt.Println("=== greedy TCP (BTC) as the measurement instrument ===")
+	fmt.Print(experiments.RenderBTC(experiments.Fig15and16(opt)))
+	fmt.Println()
+	fmt.Println("=== pathload as the measurement instrument ===")
+	fmt.Print(experiments.RenderIntrusive(experiments.Fig17and18(opt)))
+}

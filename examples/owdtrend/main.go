@@ -1,0 +1,58 @@
+// owdtrend visualizes the SLoPS principle (the paper's Figs. 1–3): the
+// one-way delays of a periodic stream trend upward exactly when the
+// stream rate exceeds the path's available bandwidth. It sends three
+// streams — above, below, and near the avail-bw — over a simulated
+// WAN path and prints their OWD series as ASCII strip charts.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	traces := experiments.OWDTraces(experiments.Options{Seed: 7})
+	for _, tr := range traces {
+		fmt.Printf("%s: stream rate %.0f Mb/s, avail-bw ≈ %.0f Mb/s → classified %q (PCT %.2f, PDT %.2f)\n",
+			tr.Figure, tr.RateMbps, tr.AvailBw/1e6, tr.Kind, tr.PCT, tr.PDT)
+		plot(tr.OWDms)
+		fmt.Println()
+	}
+}
+
+// plot renders an OWD series as a rows-of-dots strip chart.
+func plot(owds []float64) {
+	if len(owds) == 0 {
+		fmt.Println("  (no packets received)")
+		return
+	}
+	min, max := owds[0], owds[0]
+	for _, v := range owds {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	const rows = 12
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(owds)))
+	}
+	for i, v := range owds {
+		r := int((v - min) / span * float64(rows-1))
+		grid[rows-1-r][i] = '*'
+	}
+	for r, row := range grid {
+		level := max - span*float64(r)/float64(rows-1)
+		fmt.Printf("  %6.2fms |%s|\n", level, row)
+	}
+	fmt.Printf("           packet 0 .. %d (OWD relative to stream minimum)\n", len(owds)-1)
+}

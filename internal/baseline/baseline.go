@@ -1,0 +1,132 @@
+// Package baseline implements the avail-bw estimator the paper argues
+// against (§II): cprobe-style packet-train dispersion (Carter &
+// Crovella 1996). The dispersion method sends a long back-to-back train
+// and reports trainBits/arrivalSpan as the "available bandwidth"; the
+// paper (citing Dovrolis et al. 2001) shows this actually measures the
+// asymptotic dispersion rate (ADR), a quantity between the avail-bw A
+// and the capacity C. Reproducing that separation is part of the
+// paper's motivation, so the baseline lives here as a first-class
+// implementation over the same Prober interface pathload uses.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	pathload "repro"
+)
+
+// CprobeConfig tunes the dispersion estimator.
+type CprobeConfig struct {
+	// Trains is the number of trains averaged (cprobe used several;
+	// default 8).
+	Trains int
+	// TrainLength is the number of packets per train (default 60,
+	// a "long train" in the paper's sense).
+	TrainLength int
+	// PacketSize is the probe packet wire size (default the MTU,
+	// 1500 bytes — large packets maximize the dispersion signal).
+	PacketSize int
+	// Rate is the injection rate in bits/s; trains are meant to be
+	// back-to-back, so this defaults to the prober's generation
+	// ceiling given PacketSize and MinPeriod.
+	Rate float64
+	// MinPeriod is the smallest interspacing the sender sustains
+	// (default 100 µs, back-to-back at MTU size).
+	MinPeriod time.Duration
+	// Gap separates consecutive trains (default 500 ms).
+	Gap time.Duration
+}
+
+func (c CprobeConfig) withDefaults() CprobeConfig {
+	if c.Trains == 0 {
+		c.Trains = 8
+	}
+	if c.TrainLength == 0 {
+		c.TrainLength = 60
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 1500
+	}
+	if c.MinPeriod == 0 {
+		c.MinPeriod = 100 * time.Microsecond
+	}
+	if c.Rate == 0 {
+		c.Rate = float64(c.PacketSize) * 8 / c.MinPeriod.Seconds()
+	}
+	if c.Gap == 0 {
+		c.Gap = 500 * time.Millisecond
+	}
+	return c
+}
+
+// CprobeResult is the dispersion estimate.
+type CprobeResult struct {
+	// Estimate is the mean dispersion rate across trains, the number
+	// cprobe would report as "available bandwidth".
+	Estimate float64
+	// TrainRates are the per-train dispersion rates.
+	TrainRates []float64
+	// Lost counts packets that never arrived across all trains.
+	Lost int
+}
+
+// Cprobe measures the train-dispersion "avail-bw" over any pathload
+// prober. On a path where the tight link carries cross traffic the
+// estimate converges to the ADR, which systematically exceeds the true
+// avail-bw — the comparison experiment (cmd/repro -fig baseline)
+// quantifies by how much.
+func Cprobe(p pathload.Prober, cfg CprobeConfig) (CprobeResult, error) {
+	cfg = cfg.withDefaults()
+	var res CprobeResult
+	period := time.Duration(float64(cfg.PacketSize) * 8 / cfg.Rate * float64(time.Second))
+	if period < cfg.MinPeriod {
+		period = cfg.MinPeriod
+	}
+	for i := 0; i < cfg.Trains; i++ {
+		spec := pathload.StreamSpec{
+			Rate:  cfg.Rate,
+			K:     cfg.TrainLength,
+			L:     cfg.PacketSize,
+			T:     period,
+			Fleet: -1,
+			Index: i,
+		}
+		sr, err := p.SendStream(spec)
+		if err != nil {
+			return res, fmt.Errorf("baseline: train %d: %w", i, err)
+		}
+		res.Lost += spec.K - len(sr.OWDs)
+		if rate, ok := dispersionRate(spec, sr); ok {
+			res.TrainRates = append(res.TrainRates, rate)
+		}
+		if err := p.Idle(cfg.Gap); err != nil {
+			return res, fmt.Errorf("baseline: inter-train gap: %w", err)
+		}
+	}
+	if len(res.TrainRates) == 0 {
+		return res, fmt.Errorf("baseline: no usable trains out of %d", cfg.Trains)
+	}
+	var sum float64
+	for _, r := range res.TrainRates {
+		sum += r
+	}
+	res.Estimate = sum / float64(len(res.TrainRates))
+	return res, nil
+}
+
+// dispersionRate converts one train's arrivals to a dispersion rate:
+// bits between the first and last received packet over their arrival
+// span.
+func dispersionRate(spec pathload.StreamSpec, sr pathload.StreamResult) (float64, bool) {
+	if len(sr.OWDs) < 2 {
+		return 0, false
+	}
+	first, last := sr.OWDs[0], sr.OWDs[len(sr.OWDs)-1]
+	span := time.Duration(last.Seq-first.Seq)*spec.T + (last.OWD - first.OWD)
+	if span <= 0 {
+		return 0, false
+	}
+	bits := float64(last.Seq-first.Seq) * float64(spec.L) * 8
+	return bits / span.Seconds(), true
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleClassifyOWDs shows the heart of SLoPS: a stream whose one-way
+// delays trend upward is evidence that its rate exceeded the path's
+// available bandwidth.
+func ExampleClassifyOWDs() {
+	// 100 one-way delays (seconds) with a clear upward trend.
+	trending := make([]float64, 100)
+	flat := make([]float64, 100)
+	for i := range trending {
+		trending[i] = 0.050 + 0.0002*float64(i)
+		flat[i] = 0.050
+	}
+	kind1, _ := core.ClassifyOWDs(trending, core.TrendConfig{})
+	kind2, _ := core.ClassifyOWDs(flat, core.TrendConfig{})
+	fmt.Println(kind1, kind2)
+	// Output: I N
+}
+
+// ExampleController walks the rate-adjustment algorithm against a path
+// whose avail-bw is 42 Mb/s.
+func ExampleController() {
+	ctrl, err := core.NewController(core.ControllerConfig{
+		MaxRate:        100e6,
+		Resolution:     1e6,
+		GreyResolution: 1.5e6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	const availBw = 42e6
+	for !ctrl.Done() {
+		if ctrl.Rate() > availBw {
+			ctrl.Record(core.VerdictAbove)
+		} else {
+			ctrl.Record(core.VerdictBelow)
+		}
+	}
+	res := ctrl.Result()
+	fmt.Printf("bracketed: %v after %d fleets\n", res.Lo <= availBw && availBw <= res.Hi, res.Fleets)
+	// Output: bracketed: true after 7 fleets
+}
+
+// ExampleClassifyFleet shows the fleet decision with the grey region.
+func ExampleClassifyFleet() {
+	mostlyIncreasing := []core.StreamType{
+		core.TypeIncreasing, core.TypeIncreasing, core.TypeIncreasing,
+		core.TypeIncreasing, core.TypeIncreasing, core.TypeNonIncreasing,
+	}
+	split := []core.StreamType{
+		core.TypeIncreasing, core.TypeIncreasing, core.TypeIncreasing,
+		core.TypeNonIncreasing, core.TypeNonIncreasing, core.TypeNonIncreasing,
+	}
+	fmt.Println(core.ClassifyFleet(mostlyIncreasing, 0.7))
+	fmt.Println(core.ClassifyFleet(split, 0.7))
+	// Output:
+	// R>A
+	// grey
+}

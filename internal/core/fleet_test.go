@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+// repeat builds a verdict slice with the given counts.
+func repeat(inc, non, dis int) []StreamType {
+	var out []StreamType
+	for i := 0; i < inc; i++ {
+		out = append(out, TypeIncreasing)
+	}
+	for i := 0; i < non; i++ {
+		out = append(out, TypeNonIncreasing)
+	}
+	for i := 0; i < dis; i++ {
+		out = append(out, TypeDiscard)
+	}
+	return out
+}
+
+// TestClassifyFleet covers the f-fraction decision including discards.
+func TestClassifyFleet(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		inc, non, dis int
+		f             float64
+		want          FleetVerdict
+	}{
+		{"all increasing", 12, 0, 0, 0.7, VerdictAbove},
+		{"all non-increasing", 0, 12, 0, 0.7, VerdictBelow},
+		{"strong majority up", 9, 3, 0, 0.7, VerdictAbove},
+		{"strong majority down", 3, 9, 0, 0.7, VerdictBelow},
+		{"split is grey", 6, 6, 0, 0.7, VerdictGrey},
+		{"just below f is grey", 8, 4, 0, 0.7, VerdictGrey},
+		{"discards do not vote", 7, 0, 5, 0.7, VerdictAbove}, // 7/7 voters
+		{"all discarded aborts", 0, 0, 12, 0.7, VerdictAborted},
+		{"empty aborts", 0, 0, 0, 0.7, VerdictAborted},
+		{"default f", 9, 3, 0, 0, VerdictAbove},
+		{"f=1 demands unanimity", 11, 1, 0, 1.0, VerdictGrey},
+		{"f=1 unanimous", 12, 0, 0, 1.0, VerdictAbove},
+	} {
+		got := ClassifyFleet(repeat(tc.inc, tc.non, tc.dis), tc.f)
+		if got != tc.want {
+			t.Errorf("%s: ClassifyFleet(I=%d N=%d D=%d, f=%v) = %v, want %v",
+				tc.name, tc.inc, tc.non, tc.dis, tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyFleetBadFraction documents the panic contract.
+func TestClassifyFleetBadFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("f > 1 did not panic")
+		}
+	}()
+	ClassifyFleet(repeat(1, 0, 0), 1.5)
+}
+
+// TestFleetVerdictString covers the enum formatting.
+func TestFleetVerdictString(t *testing.T) {
+	names := map[FleetVerdict]string{
+		VerdictBelow:   "R<A",
+		VerdictAbove:   "R>A",
+		VerdictGrey:    "grey",
+		VerdictAborted: "aborted",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+	if FleetVerdict(9).String() == "" {
+		t.Error("unknown verdict formats empty")
+	}
+}

@@ -1,0 +1,259 @@
+// Package crosstraffic generates background load for simulated links.
+//
+// It implements the traffic models used in the paper's NS simulations
+// (§V-A): per-hop aggregates of independent sources with exponential or
+// Pareto (α = 1.9, infinite variance) interarrivals and the trimodal
+// Internet packet-size mix (40% 40 B, 50% 550 B, 10% 1500 B). Constant
+// bit-rate sources are provided for fluid-model validation.
+package crosstraffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/netsim"
+)
+
+// An Interarrival model produces successive packet interarrival times.
+type Interarrival interface {
+	// Next returns the time until the next packet arrival.
+	Next(rng *rand.Rand) netsim.Time
+	// Mean returns the model's mean interarrival time.
+	Mean() netsim.Time
+}
+
+// Exponential is a Poisson arrival process: interarrivals are i.i.d.
+// exponential with the given mean.
+type Exponential struct{ M netsim.Time }
+
+// Next draws an exponential interarrival.
+func (e Exponential) Next(rng *rand.Rand) netsim.Time {
+	return netsim.Time(rng.ExpFloat64() * float64(e.M))
+}
+
+// Mean returns the mean interarrival time.
+func (e Exponential) Mean() netsim.Time { return e.M }
+
+// Pareto produces heavy-tailed interarrivals x = xm·U^(−1/α). For
+// 1 < α ≤ 2 the variance is infinite while the mean remains finite,
+// the regime the paper uses (α = 1.9) to stress SLoPS with bursty,
+// high-variability cross traffic.
+type Pareto struct {
+	Alpha float64
+	M     netsim.Time // mean interarrival time
+}
+
+// Next draws a Pareto interarrival with mean M.
+func (p Pareto) Next(rng *rand.Rand) netsim.Time {
+	if p.Alpha <= 1 {
+		panic(fmt.Sprintf("crosstraffic: Pareto alpha must exceed 1 for a finite mean, got %v", p.Alpha))
+	}
+	xm := float64(p.M) * (p.Alpha - 1) / p.Alpha
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return netsim.Time(xm * math.Pow(u, -1/p.Alpha))
+}
+
+// Mean returns the mean interarrival time.
+func (p Pareto) Mean() netsim.Time { return p.M }
+
+// Constant produces fixed-period arrivals (CBR traffic), which makes
+// simulated links behave like the paper's fluid model.
+type Constant struct{ M netsim.Time }
+
+// Next returns the fixed period.
+func (c Constant) Next(*rand.Rand) netsim.Time { return c.M }
+
+// Mean returns the fixed period.
+func (c Constant) Mean() netsim.Time { return c.M }
+
+// A SizeDist produces packet wire sizes in bytes.
+type SizeDist interface {
+	Next(rng *rand.Rand) int
+	MeanBytes() float64
+}
+
+// Trimodal is the paper's packet size mix: 40% 40-byte, 50% 550-byte,
+// and 10% 1500-byte packets (mean 441 bytes).
+type Trimodal struct{}
+
+// Next draws a size from the trimodal mix.
+func (Trimodal) Next(rng *rand.Rand) int {
+	switch u := rng.Float64(); {
+	case u < 0.4:
+		return 40
+	case u < 0.9:
+		return 550
+	default:
+		return 1500
+	}
+}
+
+// MeanBytes returns the mean packet size, 441 bytes.
+func (Trimodal) MeanBytes() float64 { return 0.4*40 + 0.5*550 + 0.1*1500 }
+
+// FixedSize produces packets of a single size.
+type FixedSize struct{ Bytes int }
+
+// Next returns the fixed size.
+func (f FixedSize) Next(*rand.Rand) int { return f.Bytes }
+
+// MeanBytes returns the fixed size.
+func (f FixedSize) MeanBytes() float64 { return float64(f.Bytes) }
+
+// A Source injects packets into a route at random times. Sources are
+// started with Start and removed with Stop; a stopped source can be
+// restarted.
+type Source struct {
+	sim   *netsim.Simulator
+	route []*netsim.Link
+	sink  netsim.Sink
+	iat   Interarrival
+	sizes SizeDist
+	rng   *rand.Rand
+
+	next   *eventHandle
+	nextID uint64
+}
+
+type eventHandle struct{ cancel func() bool }
+
+// NewSource creates a traffic source that injects packets over route
+// and discards them at the end (or delivers them to sink if non-nil).
+// Each source owns its RNG so that experiments are reproducible and
+// sources are statistically independent.
+func NewSource(sim *netsim.Simulator, route []*netsim.Link, sink netsim.Sink, iat Interarrival, sizes SizeDist, seed int64) *Source {
+	return &Source{
+		sim:   sim,
+		route: route,
+		sink:  sink,
+		iat:   iat,
+		sizes: sizes,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Start schedules the source's first arrival at a random fraction of an
+// interarrival time from now — the residual-life phase of a stationary
+// renewal process. Without this, same-period sources (CBR aggregates in
+// particular) fire in lockstep and the "aggregate" degenerates into
+// periodic bursts. Starting a started source is a no-op.
+func (s *Source) Start() {
+	if s.next != nil {
+		return
+	}
+	first := netsim.Time(s.rng.Float64() * float64(s.iat.Next(s.rng)))
+	ev := s.sim.After(first, func() {
+		s.emit()
+		s.schedule()
+	})
+	s.next = &eventHandle{cancel: func() bool { return s.sim.Cancel(ev) }}
+}
+
+// emit injects one packet now.
+func (s *Source) emit() {
+	s.nextID++
+	pkt := &netsim.Packet{ID: s.nextID, Size: s.sizes.Next(s.rng)}
+	s.sim.Inject(pkt, s.route, s.sink)
+}
+
+// Stop cancels the source's pending arrival.
+func (s *Source) Stop() {
+	if s.next != nil {
+		s.next.cancel()
+		s.next = nil
+	}
+}
+
+func (s *Source) schedule() {
+	d := s.iat.Next(s.rng)
+	ev := s.sim.After(d, func() {
+		s.emit()
+		s.schedule()
+	})
+	s.next = &eventHandle{cancel: func() bool { return s.sim.Cancel(ev) }}
+}
+
+// Model selects an interarrival family for aggregates.
+type Model int
+
+// Supported interarrival families.
+const (
+	ModelPoisson Model = iota // exponential interarrivals
+	ModelPareto               // Pareto interarrivals, α = 1.9
+	ModelCBR                  // constant interarrivals
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case ModelPoisson:
+		return "poisson"
+	case ModelPareto:
+		return "pareto"
+	case ModelCBR:
+		return "cbr"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParetoAlpha is the shape parameter the paper uses for heavy-tailed
+// cross traffic: infinite variance, finite mean.
+const ParetoAlpha = 1.9
+
+// An Aggregate is a set of independent sources sharing a route, the
+// paper's "ten random sources" per hop.
+type Aggregate struct{ Sources []*Source }
+
+// NewAggregate creates n independent sources whose combined mean rate
+// is rate bits per second, using the given interarrival model and size
+// distribution. Seeds are derived from seed so distinct aggregates can
+// be made independent.
+func NewAggregate(sim *netsim.Simulator, route []*netsim.Link, rate float64, n int, model Model, sizes SizeDist, seed int64) *Aggregate {
+	if n <= 0 {
+		panic(fmt.Sprintf("crosstraffic: aggregate needs at least one source, got %d", n))
+	}
+	if rate < 0 {
+		panic(fmt.Sprintf("crosstraffic: negative aggregate rate %v", rate))
+	}
+	agg := &Aggregate{}
+	if rate == 0 {
+		return agg
+	}
+	perSource := rate / float64(n)
+	meanIAT := netsim.FromSeconds(sizes.MeanBytes() * 8 / perSource)
+	for i := 0; i < n; i++ {
+		var iat Interarrival
+		switch model {
+		case ModelPoisson:
+			iat = Exponential{M: meanIAT}
+		case ModelPareto:
+			iat = Pareto{Alpha: ParetoAlpha, M: meanIAT}
+		case ModelCBR:
+			iat = Constant{M: meanIAT}
+		default:
+			panic(fmt.Sprintf("crosstraffic: unknown model %v", model))
+		}
+		// Offset seeds; the multiplier keeps streams well separated.
+		agg.Sources = append(agg.Sources, NewSource(sim, route, nil, iat, sizes, seed+int64(i)*0x9e3779b9))
+	}
+	return agg
+}
+
+// Start starts all sources in the aggregate.
+func (a *Aggregate) Start() {
+	for _, s := range a.Sources {
+		s.Start()
+	}
+}
+
+// Stop stops all sources in the aggregate.
+func (a *Aggregate) Stop() {
+	for _, s := range a.Sources {
+		s.Stop()
+	}
+}

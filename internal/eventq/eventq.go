@@ -1,0 +1,124 @@
+// Package eventq provides a cancellable priority queue of timed events,
+// the scheduling substrate for the discrete-event network simulator.
+//
+// Events are ordered by activation time; ties are broken by scheduling
+// order, so the queue is deterministic: two runs that schedule the same
+// events in the same order execute them identically.
+package eventq
+
+import "container/heap"
+
+// An Event is a callback scheduled at a point in simulated time.
+// Events are created by Queue.Schedule and may be cancelled before they
+// fire. The zero Event is not usable.
+type Event struct {
+	at    int64
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// At returns the simulated time at which the event fires.
+func (e *Event) At() int64 { return e.at }
+
+// Pending reports whether the event is still queued (not yet fired or
+// cancelled).
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// A Queue is a time-ordered event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulator is single-threaded
+// by design so that runs are reproducible.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time at and returns a handle that can
+// be used to cancel it. Scheduling in the past is allowed (the event
+// simply becomes the next to fire); the simulator guards against
+// time travel separately.
+func (q *Queue) Schedule(at int64, fn func()) *Event {
+	e := &Event{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes e from the queue. It returns true if the event was
+// pending and is now cancelled, and false if it had already fired or
+// been cancelled.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// PeekTime returns the activation time of the earliest pending event.
+// ok is false if the queue is empty.
+func (q *Queue) PeekTime() (at int64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// Pop removes and returns the earliest pending event. The caller is
+// responsible for invoking its callback via Fire. Pop returns nil if
+// the queue is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	return e
+}
+
+// Fire runs the event's callback. It is a no-op on cancelled events.
+func (e *Event) Fire() {
+	if e.fn != nil {
+		fn := e.fn
+		e.fn = nil
+		fn()
+	}
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,170 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPopOrder checks that events pop in time order regardless of
+// scheduling order.
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	times := []int64{50, 10, 30, 20, 40, 10, 0}
+	for _, at := range times {
+		q.Schedule(at, func() {})
+	}
+	var got []int64
+	for q.Len() > 0 {
+		got = append(got, q.Pop().At())
+	}
+	want := append([]int64(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTieBreakBySchedulingOrder checks FIFO semantics among same-time
+// events — the property that makes simulations deterministic.
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(42, func() { fired = append(fired, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-time events fired in order %v, want scheduling order", fired)
+		}
+	}
+}
+
+// TestCancel checks that cancelled events neither pop nor fire.
+func TestCancel(t *testing.T) {
+	var q Queue
+	ran := false
+	e1 := q.Schedule(1, func() { ran = true })
+	e2 := q.Schedule(2, func() {})
+	if !q.Cancel(e1) {
+		t.Fatal("Cancel of pending event reported false")
+	}
+	if q.Cancel(e1) {
+		t.Fatal("second Cancel reported true")
+	}
+	if e1.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	if got := q.Pop(); got != e2 {
+		t.Fatalf("popped %v, want the uncancelled event", got)
+	}
+	e1.Fire() // must be a no-op
+	if ran {
+		t.Fatal("cancelled event callback ran")
+	}
+}
+
+// TestCancelMiddleKeepsOrder cancels a middle element and verifies heap
+// integrity afterwards.
+func TestCancelMiddleKeepsOrder(t *testing.T) {
+	var q Queue
+	var events []*Event
+	for i := 0; i < 100; i++ {
+		events = append(events, q.Schedule(int64(i%17), func() {}))
+	}
+	for i := 0; i < len(events); i += 3 {
+		q.Cancel(events[i])
+	}
+	prev := int64(-1)
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.At() < prev {
+			t.Fatalf("heap order violated after cancels: %d after %d", e.At(), prev)
+		}
+		prev = e.At()
+	}
+}
+
+// TestPeekTime checks PeekTime against Pop.
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported ok")
+	}
+	q.Schedule(7, func() {})
+	q.Schedule(3, func() {})
+	if at, ok := q.PeekTime(); !ok || at != 3 {
+		t.Fatalf("PeekTime = %d,%v, want 3,true", at, ok)
+	}
+	q.Pop()
+	if at, ok := q.PeekTime(); !ok || at != 7 {
+		t.Fatalf("PeekTime after pop = %d,%v, want 7,true", at, ok)
+	}
+}
+
+// TestPopEmpty checks nil behavior.
+func TestPopEmpty(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue returned an event")
+	}
+	if q.Cancel(nil) {
+		t.Fatal("Cancel(nil) reported true")
+	}
+}
+
+// TestFireOnce checks that Fire is idempotent.
+func TestFireOnce(t *testing.T) {
+	var q Queue
+	n := 0
+	e := q.Schedule(1, func() { n++ })
+	q.Pop()
+	e.Fire()
+	e.Fire()
+	if n != 1 {
+		t.Fatalf("callback ran %d times, want 1", n)
+	}
+}
+
+// TestQuickSortedDrain is the property test: any multiset of scheduled
+// times drains in nondecreasing order, with cancels applied.
+func TestQuickSortedDrain(t *testing.T) {
+	f := func(times []int64, cancelMask []bool, seed int64) bool {
+		var q Queue
+		rng := rand.New(rand.NewSource(seed))
+		var events []*Event
+		for _, at := range times {
+			events = append(events, q.Schedule(at%1000, func() {}))
+		}
+		cancelled := 0
+		for i, e := range events {
+			if i < len(cancelMask) && cancelMask[i] && rng.Intn(2) == 0 {
+				if q.Cancel(e) {
+					cancelled++
+				}
+			}
+		}
+		if q.Len() != len(events)-cancelled {
+			return false
+		}
+		prev := int64(-1 << 62)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At() < prev {
+				return false
+			}
+			prev = e.At()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/simprobe"
+
+	pathload "repro"
+)
+
+// TestTrendMetricDistributions is a diagnostic: it prints the PCT/PDT
+// statistics of streams probing well below, near, and well above the
+// true avail-bw so the classifier thresholds can be sanity-checked.
+func TestTrendMetricDistributions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	net := Topology{Seed: 7}.Build()
+	net.Warmup(2 * netsim.Second)
+	prober := simprobe.New(net.Sim, net.Links, 10*netsim.Millisecond)
+	cfg := pathload.Config{}
+
+	for _, rateMbps := range []float64{1, 2, 3, 3.9, 4.5, 5, 6, 8} {
+		rate := rateMbps * 1e6
+		l, tt := cfg.StreamParams(rate)
+		nI := 0
+		var pcts, pdts []float64
+		for i := 0; i < 12; i++ {
+			sr, err := prober.SendStream(pathload.StreamSpec{Rate: rate, K: 100, L: l, T: tt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			owds := make([]float64, len(sr.OWDs))
+			for j, s := range sr.OWDs {
+				owds[j] = s.OWD.Seconds()
+			}
+			kind, m := core.ClassifyOWDs(owds, core.TrendConfig{})
+			if kind == core.TypeIncreasing {
+				nI++
+			}
+			pcts = append(pcts, m.PCT)
+			pdts = append(pdts, m.PDT)
+			prober.Idle(200 * time.Millisecond)
+		}
+		t.Logf("R=%.1f Mb/s (L=%dB T=%v): %d/12 increasing, PCT=%.2f PDT=%.2f",
+			rateMbps, l, tt, nI, pcts, pdts)
+	}
+}

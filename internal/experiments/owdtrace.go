@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crosstraffic"
+	"repro/internal/netsim"
+	"repro/internal/simprobe"
+
+	pathload "repro"
+)
+
+// An OWDTrace is the per-packet one-way delay record of a single
+// periodic stream, the raw material of the paper's Figs. 1–3.
+type OWDTrace struct {
+	Figure   string  // "fig1", "fig2", "fig3"
+	RateMbps float64 // stream rate
+	AvailBw  float64 // long-term avail-bw of the path, bits/s
+	// OWDms holds the relative OWD of each received packet in
+	// milliseconds, shifted so the minimum is 0.
+	OWDms []float64
+	Seqs  []int
+	// Trend metrics and the resulting classification.
+	PCT, PDT float64
+	Kind     string
+	// RiseMs is OWD(last) − OWD(first).
+	RiseMs float64
+}
+
+// wanPath builds a path shaped like the paper's Univ-Oregon →
+// Univ-Delaware route: the narrow link is a 100 Mb/s Fast Ethernet
+// interface while the tight link is a 155 Mb/s OC-3 carrying enough
+// traffic to leave ≈ 74 Mb/s available.
+func wanPath(seed int64) (*netsim.Simulator, []*netsim.Link) {
+	sim := netsim.NewSimulator()
+	type hop struct {
+		name string
+		cap  float64
+		util float64
+	}
+	hops := []hop{
+		{"gigapop", 622e6, 0.10},
+		{"fast-ethernet(narrow)", 100e6, 0.05},
+		{"oc3(tight)", 155e6, 0.5226}, // A ≈ 74 Mb/s
+		{"abilene", 622e6, 0.10},
+		{"campus", 622e6, 0.08},
+	}
+	var links []*netsim.Link
+	for i, h := range hops {
+		l := netsim.NewLink(sim, h.name, int64(h.cap), 10*netsim.Millisecond, 0)
+		links = append(links, l)
+		if h.util > 0 {
+			agg := crosstraffic.NewAggregate(sim, []*netsim.Link{l}, h.cap*h.util, 10,
+				crosstraffic.ModelPareto, crosstraffic.Trimodal{}, seed+int64(i)*999_983)
+			agg.Start()
+		}
+	}
+	return sim, links
+}
+
+// OWDTraces reproduces Figs. 1–3: three 100-packet streams on a path
+// with ≈ 74 Mb/s avail-bw, at rates above (96 Mb/s), below (37 Mb/s),
+// and near (82 Mb/s) the avail-bw. The first must show a clear
+// increasing trend, the second none, and the third a partial one.
+func OWDTraces(opt Options) []OWDTrace {
+	opt = opt.withDefaults()
+	cases := []struct {
+		figure   string
+		rateMbps float64
+	}{
+		{"fig1", 96},
+		{"fig2", 37},
+		{"fig3", 82},
+	}
+	cfg := pathload.Config{}
+	var out []OWDTrace
+	for i, c := range cases {
+		sim, links := wanPath(opt.runSeed(i))
+		sim.RunFor(warmup)
+		prober := simprobe.New(sim, links, 10*netsim.Millisecond)
+		rate := c.rateMbps * 1e6
+		l, t := cfg.StreamParams(rate)
+		sr, err := prober.SendStream(pathload.StreamSpec{Rate: rate, K: 100, L: l, T: t})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: OWD trace %s: %v", c.figure, err))
+		}
+
+		tr := OWDTrace{Figure: c.figure, RateMbps: c.rateMbps, AvailBw: 155e6 * (1 - 0.5226)}
+		owds := make([]float64, 0, len(sr.OWDs))
+		min := 0.0
+		for j, s := range sr.OWDs {
+			v := s.OWD.Seconds()
+			if j == 0 || v < min {
+				min = v
+			}
+			owds = append(owds, v)
+			tr.Seqs = append(tr.Seqs, s.Seq)
+		}
+		for _, v := range owds {
+			tr.OWDms = append(tr.OWDms, (v-min)*1e3)
+		}
+		kind, m := core.ClassifyOWDs(owds, core.TrendConfig{})
+		tr.PCT, tr.PDT = m.PCT, m.PDT
+		tr.Kind = kind.String()
+		if len(tr.OWDms) > 0 {
+			tr.RiseMs = tr.OWDms[len(tr.OWDms)-1] - tr.OWDms[0]
+		}
+		out = append(out, tr)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	pathload "repro"
+)
+
+// A SensitivityPoint is one row of the paper's Figs. 8–9: the range
+// reported by a single pathload run at one parameter setting.
+type SensitivityPoint struct {
+	Param          float64 // the swept parameter (f, or the PDT threshold)
+	Lo, Hi         float64 // reported range, bits/s
+	GreyLo, GreyHi float64
+	GreySet        bool
+	TrueA          float64
+}
+
+// Width returns Hi − Lo.
+func (p SensitivityPoint) Width() float64 { return p.Hi - p.Lo }
+
+// Fig8 reproduces Fig. 8: the effect of the fleet agreement fraction f
+// on the reported range. Each point is a single pathload run (as in the
+// paper). A larger f demands more stream agreement before a fleet is
+// declared increasing or non-increasing, so the grey region — and with
+// it the reported range — widens with f.
+func Fig8(opt Options) []SensitivityPoint {
+	opt = opt.withDefaults()
+	topo := Topology{Seed: opt.runSeed(80)}
+	var out []SensitivityPoint
+	for _, f := range []float64{0.55, 0.65, 0.75, 0.85, 0.95} {
+		res, _, err := measureOnce(topo, pathload.Config{FleetFraction: f})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig8 f=%v: %v", f, err))
+		}
+		out = append(out, SensitivityPoint{
+			Param: f, Lo: res.Lo, Hi: res.Hi,
+			GreyLo: res.GreyLo, GreyHi: res.GreyHi, GreySet: res.GreySet,
+			TrueA: topo.AvailBw(),
+		})
+	}
+	return out
+}
+
+// Fig9 reproduces Fig. 9: the effect of the PDT decision threshold when
+// PDT is the only metric (two-zone: non-increasing exactly below the
+// threshold). Small thresholds mark nearly every stream increasing and
+// drive the estimate toward zero (underestimation); large thresholds
+// mark nearly every stream non-increasing and drive it toward the probe
+// ceiling (overestimation); intermediate values recover the avail-bw.
+func Fig9(opt Options) []SensitivityPoint {
+	opt = opt.withDefaults()
+	topo := Topology{Seed: opt.runSeed(90)}
+	var out []SensitivityPoint
+	for _, thr := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		cfg := pathload.Config{
+			DisablePCT:       true,
+			PDTIncreasing:    thr,
+			PDTNonIncreasing: thr,
+		}
+		res, _, err := measureOnce(topo, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig9 thr=%v: %v", thr, err))
+		}
+		out = append(out, SensitivityPoint{
+			Param: thr, Lo: res.Lo, Hi: res.Hi,
+			GreyLo: res.GreyLo, GreyHi: res.GreyHi, GreySet: res.GreySet,
+			TrueA: topo.AvailBw(),
+		})
+	}
+	return out
+}

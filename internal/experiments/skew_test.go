@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simprobe"
+
+	pathload "repro"
+)
+
+// TestMeasurementSurvivesClockSkew: §IV's claim that unsynchronized
+// clocks are harmless, end to end — the full measurement on the same
+// path, with and without a gross receiver clock offset, must agree.
+func TestMeasurementSurvivesClockSkew(t *testing.T) {
+	run := func(offset time.Duration) pathload.Result {
+		net := Topology{Seed: 31}.Build()
+		net.Warmup(warmup)
+		prober := simprobe.New(net.Sim, net.Links, 10*netsim.Millisecond)
+		prober.ClockOffset = offset
+		res, err := pathload.Run(prober, pathload.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(0)
+	skewed := run(-12 * time.Hour)
+	if plain.Lo != skewed.Lo || plain.Hi != skewed.Hi {
+		t.Fatalf("clock offset changed the estimate: [%v, %v] vs [%v, %v]",
+			plain.Lo, plain.Hi, skewed.Lo, skewed.Hi)
+	}
+}
+
+// TestMeasurementDeterminism: same topology seed, same result — the
+// reproducibility contract every experiment relies on.
+func TestMeasurementDeterminism(t *testing.T) {
+	run := func() pathload.Result {
+		net := Topology{Seed: 123}.Build()
+		net.Warmup(warmup)
+		prober := simprobe.New(net.Sim, net.Links, 10*netsim.Millisecond)
+		res, err := pathload.Run(prober, pathload.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Lo != b.Lo || a.Hi != b.Hi || len(a.Fleets) != len(b.Fleets) {
+		t.Fatalf("identical seeds diverged: %v vs %v", a, b)
+	}
+}
+
+// TestLossyPathAborts: pathload on a severely underbuffered path must
+// degrade via aborted fleets (rate-too-high semantics), never crash or
+// fabricate a wide confident range.
+func TestLossyPathAborts(t *testing.T) {
+	topo := Topology{BufBytes: 3000, Seed: 13} // ~2 packets of buffer
+	net := topo.Build()
+	net.Warmup(warmup)
+	prober := simprobe.New(net.Sim, net.Links, 10*netsim.Millisecond)
+	res, err := pathload.Run(prober, pathload.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted := 0
+	for _, f := range res.Fleets {
+		if f.Verdict == pathload.FleetAborted {
+			aborted++
+		}
+	}
+	t.Logf("underbuffered path: %v, %d/%d fleets aborted", res, aborted, len(res.Fleets))
+	if aborted == 0 {
+		t.Error("no aborted fleets despite a 2-packet buffer at 60% load")
+	}
+}

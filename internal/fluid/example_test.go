@@ -1,0 +1,33 @@
+package fluid_test
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+)
+
+// ExamplePath_AvailBw reproduces the paper's terminology on its
+// Univ-Oregon → Univ-Delaware path: the narrow link (smallest
+// capacity) differs from the tight link (smallest avail-bw).
+func ExamplePath_AvailBw() {
+	path := fluid.Path{
+		{C: 622e6, A: 560e6}, // gigapop
+		{C: 100e6, A: 95e6},  // fast ethernet — narrow
+		{C: 155e6, A: 74e6},  // OC-3 — tight
+		{C: 622e6, A: 500e6}, // backbone
+	}
+	fmt.Printf("capacity %.0f Mb/s (narrow link %d), avail-bw %.0f Mb/s (tight link %d)\n",
+		path.Capacity()/1e6, path.NarrowLink(), path.AvailBw()/1e6, path.TightLink())
+	// Output: capacity 100 Mb/s (narrow link 1), avail-bw 74 Mb/s (tight link 2)
+}
+
+// ExampleOWDSlope shows Proposition 1: the per-packet OWD growth is
+// positive exactly when the stream rate exceeds the avail-bw.
+func ExampleOWDSlope() {
+	path := fluid.Path{{C: 10e6, A: 4e6}}
+	fmt.Printf("R=6 Mb/s: slope positive = %v\n", fluid.OWDSlope(6e6, 500, path) > 0)
+	fmt.Printf("R=3 Mb/s: slope positive = %v\n", fluid.OWDSlope(3e6, 500, path) > 0)
+	// Output:
+	// R=6 Mb/s: slope positive = true
+	// R=3 Mb/s: slope positive = false
+}

@@ -1,0 +1,166 @@
+// Package fluid implements the paper's analytical model of a periodic
+// probing stream crossing a path with stationary fluid cross traffic
+// (§III-A and the Appendix).
+//
+// In the fluid model each link i has capacity C_i and available
+// bandwidth A_i = C_i(1 − u_i); cross traffic arrives as a fluid at
+// constant rate C_i − A_i. The model yields the exit rate of a periodic
+// stream at each hop and the per-packet growth of one-way delay (OWD),
+// from which the paper's Proposition 1 — OWDs increase if and only if
+// the stream rate exceeds the path's available bandwidth — follows. The
+// package exists both as an executable form of the paper's Appendix and
+// as an oracle for testing the packet-level simulator: with CBR cross
+// traffic the simulator must converge to these closed forms.
+package fluid
+
+import "fmt"
+
+// A Link is one hop in the fluid model.
+type Link struct {
+	C float64 // capacity, bits/s
+	A float64 // available bandwidth, bits/s (0 ≤ A ≤ C)
+}
+
+// Utilization returns the link utilization u = 1 − A/C.
+func (l Link) Utilization() float64 { return 1 - l.A/l.C }
+
+// A Path is a sequence of store-and-forward links.
+type Path []Link
+
+// Validate checks that every link has 0 < C and 0 ≤ A ≤ C.
+func (p Path) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("fluid: empty path")
+	}
+	for i, l := range p {
+		if l.C <= 0 {
+			return fmt.Errorf("fluid: link %d: capacity %v must be positive", i, l.C)
+		}
+		if l.A < 0 || l.A > l.C {
+			return fmt.Errorf("fluid: link %d: avail-bw %v outside [0, %v]", i, l.A, l.C)
+		}
+	}
+	return nil
+}
+
+// AvailBw returns the end-to-end available bandwidth, the minimum A_i
+// over the path (Eq. 3).
+func (p Path) AvailBw() float64 {
+	a := p[0].A
+	for _, l := range p[1:] {
+		if l.A < a {
+			a = l.A
+		}
+	}
+	return a
+}
+
+// Capacity returns the end-to-end capacity, the minimum C_i (Eq. 1).
+func (p Path) Capacity() float64 {
+	c := p[0].C
+	for _, l := range p[1:] {
+		if l.C < c {
+			c = l.C
+		}
+	}
+	return c
+}
+
+// TightLink returns the index of the tight link: the first link with
+// the minimum available bandwidth (the paper's footnote 2 resolves ties
+// toward the first such link).
+func (p Path) TightLink() int {
+	idx := 0
+	for i, l := range p {
+		if l.A < p[idx].A {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// NarrowLink returns the index of the narrow link: the first link with
+// the minimum capacity.
+func (p Path) NarrowLink() int {
+	idx := 0
+	for i, l := range p {
+		if l.C < p[idx].C {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// ExitRateAt returns the rate of a periodic stream as it exits link i,
+// given entry rate rin at that link (Eq. 19): if rin ≤ A the stream is
+// not queued persistently and exits at rin; otherwise the link is
+// saturated over each interarrival and the stream's share of the output
+// is rin·C/(rin + C − A).
+func ExitRateAt(rin float64, l Link) float64 {
+	if rin <= l.A {
+		return rin
+	}
+	return rin * l.C / (rin + l.C - l.A)
+}
+
+// ExitRate returns the rate at which the stream arrives at the
+// receiver, applying the per-hop recursion across the whole path
+// (Proposition 2: the exit rate depends on the capacities and avail-bws
+// of all saturated links).
+func ExitRate(r float64, p Path) float64 {
+	for _, l := range p {
+		r = ExitRateAt(r, l)
+	}
+	return r
+}
+
+// RatesAlongPath returns the stream rate entering each link, plus the
+// final exit rate as the last element (length len(p)+1).
+func RatesAlongPath(r float64, p Path) []float64 {
+	out := make([]float64, 0, len(p)+1)
+	out = append(out, r)
+	for _, l := range p {
+		r = ExitRateAt(r, l)
+		out = append(out, r)
+	}
+	return out
+}
+
+// OWDSlope returns the increase in one-way delay between consecutive
+// packets of size l bytes (Eq. 22 summed across hops): at each link
+// where the entry rate rin exceeds A, the queue grows by
+// (rin − A)·l·8/rin bits per packet period, adding that growth divided
+// by C to every subsequent packet's delay. The returned slope is in
+// seconds per packet; it is positive if and only if r > AvailBw()
+// (Proposition 1).
+func OWDSlope(r float64, pktBytes int, p Path) float64 {
+	bits := float64(pktBytes) * 8
+	var slope float64
+	rin := r
+	for _, l := range p {
+		if rin > l.A {
+			slope += bits * (rin - l.A) / (rin * l.C)
+		}
+		rin = ExitRateAt(rin, l)
+	}
+	return slope
+}
+
+// StreamOWDs returns the one-way delays of a k-packet periodic stream
+// of rate r and packet size pktBytes under the fluid model, excluding
+// propagation and other fixed delays (they cancel in OWD differences).
+// The first packet's delay is the sum of per-hop transmission times;
+// each subsequent packet adds OWDSlope.
+func StreamOWDs(r float64, pktBytes, k int, p Path) []float64 {
+	bits := float64(pktBytes) * 8
+	var base float64
+	for _, l := range p {
+		base += bits / l.C
+	}
+	slope := OWDSlope(r, pktBytes, p)
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = base + slope*float64(i)
+	}
+	return out
+}

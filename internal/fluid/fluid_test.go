@@ -1,0 +1,209 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPath draws a valid path with capacities in [1, 1000] Mb/s.
+func randomPath(rng *rand.Rand, maxHops int) Path {
+	h := 1 + rng.Intn(maxHops)
+	p := make(Path, h)
+	for i := range p {
+		c := 1e6 + rng.Float64()*999e6
+		p[i] = Link{C: c, A: rng.Float64() * c}
+	}
+	return p
+}
+
+// TestValidate covers the error cases.
+func TestValidate(t *testing.T) {
+	for name, p := range map[string]Path{
+		"empty":         {},
+		"zero capacity": {{C: 0, A: 0}},
+		"negative A":    {{C: 10, A: -1}},
+		"A above C":     {{C: 10, A: 11}},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate passed", name)
+		}
+	}
+	ok := Path{{C: 10e6, A: 4e6}, {C: 20e6, A: 16e6}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+}
+
+// TestTightAndNarrow checks the paper's terminology on its own example:
+// the tight link (min avail-bw) need not be the narrow link (min
+// capacity).
+func TestTightAndNarrow(t *testing.T) {
+	// Oregon→Delaware: narrow = 100 Mb/s FE, tight = 155 Mb/s OC-3.
+	p := Path{
+		{C: 622e6, A: 560e6},
+		{C: 100e6, A: 95e6}, // narrow
+		{C: 155e6, A: 74e6}, // tight
+		{C: 622e6, A: 500e6},
+	}
+	if got := p.NarrowLink(); got != 1 {
+		t.Errorf("NarrowLink = %d, want 1", got)
+	}
+	if got := p.TightLink(); got != 2 {
+		t.Errorf("TightLink = %d, want 2", got)
+	}
+	if got := p.AvailBw(); got != 74e6 {
+		t.Errorf("AvailBw = %v, want 74e6", got)
+	}
+	if got := p.Capacity(); got != 100e6 {
+		t.Errorf("Capacity = %v, want 100e6", got)
+	}
+}
+
+// TestTightLinkTieBreaksFirst implements the paper's footnote 2.
+func TestTightLinkTieBreaksFirst(t *testing.T) {
+	p := Path{{C: 10e6, A: 4e6}, {C: 8e6, A: 4e6}}
+	if got := p.TightLink(); got != 0 {
+		t.Errorf("TightLink = %d, want first of the ties", got)
+	}
+}
+
+// TestProposition1 is the paper's central claim as a property test:
+// the OWD slope is positive exactly when R > A, and zero when R ≤ A.
+func TestProposition1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPath(rng, 8)
+		a := p.AvailBw()
+		// Probe strictly above and strictly below the avail-bw.
+		above := a*1.05 + 1
+		below := a * 0.95
+		if OWDSlope(above, 1000, p) <= 0 {
+			return false
+		}
+		if below > 0 && OWDSlope(below, 1000, p) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProposition2ExitRate: the exit rate is nonincreasing along the
+// path, never exceeds the entry rate, and a saturating stream exits at
+// most at the capacity.
+func TestProposition2ExitRate(t *testing.T) {
+	f := func(seed int64, rawRate float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPath(rng, 8)
+		r := math.Abs(math.Mod(rawRate, 1000e6)) + 1e5
+		rates := RatesAlongPath(r, p)
+		for i := 1; i < len(rates); i++ {
+			if rates[i] > rates[i-1]+1e-6 {
+				return false // a link cannot speed a stream up
+			}
+			if rates[i] > p[i-1].C+1e-6 {
+				return false // nor emit above its capacity
+			}
+			if rates[i] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitRateBelowAvailIsIdentity: a stream below every link's
+// avail-bw passes through untouched.
+func TestExitRateBelowAvailIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPath(rng, 8)
+		a := p.AvailBw()
+		if a < 2 {
+			return true
+		}
+		r := a / 2
+		return math.Abs(ExitRate(r, p)-r) < 1e-9*r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitRateSingleLinkFormula pins the closed form of Eq. 16/19:
+// Ro = R·C/(R + C − A) for R > A.
+func TestExitRateSingleLinkFormula(t *testing.T) {
+	l := Link{C: 10e6, A: 4e6}
+	r := 8e6
+	want := r * l.C / (r + l.C - l.A) // 8·10/(8+10−4) = 5.714 Mb/s
+	if got := ExitRateAt(r, l); math.Abs(got-want) > 1 {
+		t.Fatalf("ExitRateAt = %v, want %v", got, want)
+	}
+	if got := ExitRateAt(3e6, l); got != 3e6 {
+		t.Fatalf("below-avail exit rate = %v, want identity", got)
+	}
+}
+
+// TestOWDSlopeSingleLinkFormula pins Eq. 22 on one link: slope =
+// L·(R − A)/(R·C) per packet.
+func TestOWDSlopeSingleLinkFormula(t *testing.T) {
+	p := Path{{C: 10e6, A: 4e6}}
+	const l = 750 // bytes
+	r := 6e6
+	want := 750.0 * 8 * (r - 4e6) / (r * 10e6)
+	if got := OWDSlope(r, l, p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("OWDSlope = %v, want %v", got, want)
+	}
+}
+
+// TestStreamOWDsShape checks linear growth above A, flatness below.
+func TestStreamOWDsShape(t *testing.T) {
+	p := Path{{C: 10e6, A: 4e6}, {C: 20e6, A: 16e6}}
+	up := StreamOWDs(6e6, 500, 50, p)
+	flat := StreamOWDs(3e6, 500, 50, p)
+	if len(up) != 50 || len(flat) != 50 {
+		t.Fatal("wrong stream lengths")
+	}
+	for i := 1; i < 50; i++ {
+		if up[i] <= up[i-1] {
+			t.Fatalf("above-A OWDs not strictly increasing at %d", i)
+		}
+		if flat[i] != flat[i-1] {
+			t.Fatalf("below-A OWDs not constant at %d", i)
+		}
+	}
+	// Slope between consecutive packets must equal OWDSlope.
+	slope := OWDSlope(6e6, 500, p)
+	if got := up[1] - up[0]; math.Abs(got-slope) > 1e-12 {
+		t.Fatalf("per-packet increment %v, want %v", got, slope)
+	}
+}
+
+// TestUtilization checks the Link helper.
+func TestUtilization(t *testing.T) {
+	l := Link{C: 10e6, A: 2.5e6}
+	if got := l.Utilization(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Utilization = %v, want 0.75", got)
+	}
+}
+
+// TestMultiTightLinksSlopeAccumulates: with several equally tight
+// links the slope accumulates per hop, the analytical seed of the
+// paper's Fig. 7 underestimation.
+func TestMultiTightLinksSlopeAccumulates(t *testing.T) {
+	single := Path{{C: 10e6, A: 4e6}}
+	triple := Path{{C: 10e6, A: 4e6}, {C: 10e6, A: 4e6}, {C: 10e6, A: 4e6}}
+	r := 6e6
+	s1 := OWDSlope(r, 500, single)
+	s3 := OWDSlope(r, 500, triple)
+	if s3 <= s1 {
+		t.Fatalf("slope over three tight links %v not above single-link %v", s3, s1)
+	}
+}

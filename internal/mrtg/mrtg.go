@@ -1,0 +1,107 @@
+// Package mrtg is the simulation's stand-in for the Multi Router
+// Traffic Grapher readings the paper uses as verification ground truth
+// (§V-B): windowed averages of a link's transmitted bytes, converted to
+// utilization and available bandwidth, with the coarse reading
+// quantization of real MRTG graphs (the paper reads its graphs in
+// 6 Mb/s buckets).
+package mrtg
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// A Reading is one averaging window of link activity.
+type Reading struct {
+	Start, End netsim.Time
+	Bytes      uint64  // bytes transmitted during the window
+	Util       float64 // mean utilization during the window
+	Avail      float64 // capacity · (1 − Util), bits/s
+}
+
+// Rate returns the mean transmitted rate in bits/s.
+func (r Reading) Rate() float64 {
+	w := (r.End - r.Start).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / w
+}
+
+// A Monitor samples one link's counters on a fixed window. The paper's
+// MRTG windows are 5 minutes; simulations may use shorter ones.
+type Monitor struct {
+	sim    *netsim.Simulator
+	link   *netsim.Link
+	window netsim.Time
+
+	readings []Reading
+	last     netsim.LinkCounters
+	lastAt   netsim.Time
+	running  bool
+}
+
+// NewMonitor creates a monitor for link with the given averaging
+// window. Call Start to begin sampling.
+func NewMonitor(sim *netsim.Simulator, link *netsim.Link, window netsim.Time) *Monitor {
+	if window <= 0 {
+		panic(fmt.Sprintf("mrtg: window must be positive, got %v", window))
+	}
+	return &Monitor{sim: sim, link: link, window: window}
+}
+
+// Start begins sampling at the current simulated time.
+func (m *Monitor) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.last = m.link.Counters()
+	m.lastAt = m.sim.Now()
+	m.scheduleNext()
+}
+
+func (m *Monitor) scheduleNext() {
+	m.sim.After(m.window, func() {
+		if !m.running {
+			return
+		}
+		m.sample()
+		m.scheduleNext()
+	})
+}
+
+// sample closes the current window and opens the next.
+func (m *Monitor) sample() {
+	now := m.sim.Now()
+	cur := m.link.Counters()
+	util := netsim.Utilization(m.last, cur, now-m.lastAt)
+	m.readings = append(m.readings, Reading{
+		Start: m.lastAt,
+		End:   now,
+		Bytes: cur.BytesOut - m.last.BytesOut,
+		Util:  util,
+		Avail: float64(m.link.Capacity()) * (1 - util),
+	})
+	m.last = cur
+	m.lastAt = now
+}
+
+// Stop halts sampling. A partial window is discarded, as a real MRTG
+// graph would.
+func (m *Monitor) Stop() { m.running = false }
+
+// Readings returns the completed windows so far.
+func (m *Monitor) Readings() []Reading { return m.readings }
+
+// Quantize maps an avail-bw reading to the [lo, hi) bucket of the given
+// step, modeling the limited resolution of reading numbers off an MRTG
+// graph (the paper: "MRTG readings are given as 6-Mb/s ranges").
+func Quantize(avail, step float64) (lo, hi float64) {
+	if step <= 0 {
+		return avail, avail
+	}
+	n := int(avail / step)
+	return float64(n) * step, float64(n+1) * step
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import "fmt"
+
+// LinkCounters is a snapshot of a link's cumulative activity, used by
+// monitors (internal/mrtg) and ground-truth utilization accounting.
+type LinkCounters struct {
+	PktsIn    uint64 // packets that arrived at the queue
+	PktsOut   uint64 // packets fully transmitted
+	BytesOut  uint64 // bytes fully transmitted
+	Drops     uint64 // packets dropped at a full buffer
+	DropBytes uint64
+	Busy      Time // cumulative transmission (service) time
+}
+
+// A Link is a store-and-forward transmission line with a FIFO drop-tail
+// queue. Service is exact: a packet arriving at time t begins
+// transmission at max(t, end of previous transmission) and occupies the
+// line for 8·Size/Capacity seconds; the packet then arrives at the next
+// hop after the propagation delay.
+type Link struct {
+	sim      *Simulator
+	name     string
+	capacity int64 // bits per second
+	prop     Time
+	buf      int // queue limit in bytes; 0 means unbounded
+
+	queued    int // bytes queued or in service
+	busyUntil Time
+
+	ctr LinkCounters
+
+	onTransmit []func(pkt *Packet, done Time)
+	onDrop     []func(pkt *Packet, at Time)
+}
+
+// NewLink creates a link attached to sim. capacity is in bits per
+// second and must be positive; prop is the propagation delay; bufBytes
+// limits the queue (queued plus in-service bytes) and 0 disables the
+// limit.
+func NewLink(sim *Simulator, name string, capacity int64, prop Time, bufBytes int) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: link %q: capacity must be positive, got %d", name, capacity))
+	}
+	if prop < 0 || bufBytes < 0 {
+		panic(fmt.Sprintf("netsim: link %q: negative propagation delay or buffer", name))
+	}
+	return &Link{sim: sim, name: name, capacity: capacity, prop: prop, buf: bufBytes}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity in bits per second.
+func (l *Link) Capacity() int64 { return l.capacity }
+
+// PropDelay returns the link's propagation delay.
+func (l *Link) PropDelay() Time { return l.prop }
+
+// Buffer returns the drop-tail queue limit in bytes (0 = unbounded).
+func (l *Link) Buffer() int { return l.buf }
+
+// QueuedBytes returns the bytes currently queued or in service.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+// Counters returns a snapshot of the link's cumulative counters.
+func (l *Link) Counters() LinkCounters { return l.ctr }
+
+// OnTransmit registers an observer invoked whenever a packet finishes
+// transmission on this link, with the completion time. Monitors use it
+// for windowed byte counting.
+func (l *Link) OnTransmit(fn func(pkt *Packet, done Time)) { l.onTransmit = append(l.onTransmit, fn) }
+
+// OnDrop registers an observer invoked when a packet is dropped at this
+// link's full buffer.
+func (l *Link) OnDrop(fn func(pkt *Packet, at Time)) { l.onDrop = append(l.onDrop, fn) }
+
+// TxTime returns the transmission (serialization) time of size bytes on
+// this link.
+func (l *Link) TxTime(size int) Time {
+	// 8 * size bits at capacity bits/s, in nanoseconds. Computed in
+	// integer arithmetic to stay deterministic: ns = bits * 1e9 / cap.
+	bits := int64(size) * 8
+	return Time(bits * int64(Second) / l.capacity)
+}
+
+// Utilization returns the mean utilization over a window given the
+// counter snapshots at the window's boundaries.
+func Utilization(before, after LinkCounters, window Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(after.Busy-before.Busy) / float64(window)
+}
+
+// arrive handles a packet reaching this link's input queue.
+func (l *Link) arrive(pkt *Packet, at Time) {
+	l.ctr.PktsIn++
+	if l.buf > 0 && l.queued+pkt.Size > l.buf {
+		l.ctr.Drops++
+		l.ctr.DropBytes += uint64(pkt.Size)
+		for _, fn := range l.onDrop {
+			fn(pkt, at)
+		}
+		return
+	}
+	l.queued += pkt.Size
+	start := at
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	tx := l.TxTime(pkt.Size)
+	done := start + tx
+	l.busyUntil = done
+	l.sim.Schedule(done, func() {
+		l.queued -= pkt.Size
+		l.ctr.PktsOut++
+		l.ctr.BytesOut += uint64(pkt.Size)
+		l.ctr.Busy += tx
+		for _, fn := range l.onTransmit {
+			fn(pkt, done)
+		}
+		if l.prop == 0 {
+			pkt.forward(done)
+		} else {
+			l.sim.Schedule(done+l.prop, func() { pkt.forward(done + l.prop) })
+		}
+	})
+}

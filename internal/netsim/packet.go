@@ -1,0 +1,55 @@
+package netsim
+
+// A Sink receives packets at the end of their route. The at argument is
+// the arrival time of the packet's last bit at the receiving host.
+type Sink func(pkt *Packet, at Time)
+
+// A Packet is a unit of transmission. Size is the wire size in bytes,
+// including all link- and transport-layer headers; the simulator charges
+// transmission time for the full wire size. Payload carries
+// application-specific data (probe sequence numbers, TCP segment
+// descriptors, ...) and is never inspected by the simulator.
+type Packet struct {
+	ID      uint64
+	Size    int
+	SentAt  Time // stamped by Inject
+	Payload any
+
+	route []*Link
+	hop   int
+	sink  Sink
+}
+
+// Inject introduces a packet into the network at the first link of
+// route at the current simulated time. When the packet's last bit
+// leaves the final link, sink is invoked; if the packet is dropped at a
+// full buffer, sink is never invoked (drops are visible through link
+// counters and the link's OnDrop observer).
+//
+// An empty route delivers the packet to sink immediately.
+func (s *Simulator) Inject(pkt *Packet, route []*Link, sink Sink) {
+	pkt.SentAt = s.now
+	pkt.route = route
+	pkt.hop = 0
+	pkt.sink = sink
+	if len(route) == 0 {
+		if sink != nil {
+			sink(pkt, s.now)
+		}
+		return
+	}
+	route[0].arrive(pkt, s.now)
+}
+
+// forward moves the packet to its next hop, or delivers it to the sink
+// when the route is exhausted.
+func (pkt *Packet) forward(at Time) {
+	pkt.hop++
+	if pkt.hop < len(pkt.route) {
+		pkt.route[pkt.hop].arrive(pkt, at)
+		return
+	}
+	if pkt.sink != nil {
+		pkt.sink(pkt, at)
+	}
+}

@@ -1,0 +1,111 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It models a network as store-and-forward links with FIFO drop-tail
+// queues, the service discipline assumed by the SLoPS analysis (Jain &
+// Dovrolis, SIGCOMM 2002). Packets carry an explicit route (a sequence
+// of links) and a sink callback, so path traffic and one-hop cross
+// traffic share links naturally.
+//
+// The simulator is single-threaded and all randomness is injected by
+// the caller, so simulations are reproducible bit-for-bit. Time is
+// virtual: probe timing is immune to host GC pauses and scheduler
+// jitter, which is what makes microsecond-scale probing measurable in
+// Go at all (the real-network prober in internal/udprobe is the only
+// component exposed to wall clocks).
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+)
+
+// A Simulator owns virtual time and the event queue. Create one with
+// NewSimulator. All network objects attached to a simulator must be
+// driven only from its event loop or between Run calls.
+type Simulator struct {
+	q      eventq.Queue
+	now    Time
+	events uint64
+}
+
+// NewSimulator returns a simulator with time set to zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Events returns the total number of events executed so far, a useful
+// cost metric for benchmarks.
+func (s *Simulator) Events() uint64 { return s.events }
+
+// Schedule runs fn at the given absolute simulated time. Scheduling in
+// the past panics: it would make the event order ill-defined.
+func (s *Simulator) Schedule(at Time, fn func()) *eventq.Event {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %v before now %v", at, s.now))
+	}
+	return s.q.Schedule(int64(at), fn)
+}
+
+// After runs fn after duration d of simulated time.
+func (s *Simulator) After(d Time, fn func()) *eventq.Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was
+// still pending.
+func (s *Simulator) Cancel(e *eventq.Event) bool { return s.q.Cancel(e) }
+
+// Run executes events until the given absolute time. On return, Now()
+// equals until, even if the queue drained earlier: virtual time always
+// advances to the requested point so that idle periods pass correctly.
+func (s *Simulator) Run(until Time) {
+	for {
+		at, ok := s.q.PeekTime()
+		if !ok || Time(at) > until {
+			break
+		}
+		e := s.q.Pop()
+		s.now = Time(at)
+		s.events++
+		e.Fire()
+	}
+	if until > s.now {
+		s.now = until
+	}
+}
+
+// RunFor executes events for duration d of simulated time.
+func (s *Simulator) RunFor(d Time) { s.Run(s.now + d) }
+
+// RunUntil executes events until cond reports true or the absolute
+// deadline passes, whichever is first. cond is evaluated after each
+// event. It reports whether cond was met.
+func (s *Simulator) RunUntil(cond func() bool, deadline Time) bool {
+	if cond() {
+		return true
+	}
+	for {
+		at, ok := s.q.PeekTime()
+		if !ok || Time(at) > deadline {
+			break
+		}
+		e := s.q.Pop()
+		s.now = Time(at)
+		s.events++
+		e.Fire()
+		if cond() {
+			return true
+		}
+	}
+	if deadline > s.now {
+		s.now = deadline
+	}
+	return false
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.q.Len() }

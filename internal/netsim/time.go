@@ -1,0 +1,31 @@
+package netsim
+
+import "time"
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the simulation. Durations are also expressed as Time; the arithmetic
+// is the caller's responsibility, mirroring time.Duration.
+type Time int64
+
+// Convenient duration units in simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts simulated time to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time like a time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromSeconds converts a floating-point number of seconds to Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromDuration converts a time.Duration to simulated Time.
+func FromDuration(d time.Duration) Time { return Time(d) }

@@ -1,0 +1,134 @@
+// Package simprobe adapts the discrete-event simulator to the pathload
+// Prober interface: probe streams become simulated packet injections,
+// one-way delays are exact arrival-minus-send times (optionally skewed
+// by a configurable clock offset to exercise the relative-OWD
+// property), and Idle advances virtual time.
+//
+// Every paper-figure reproduction measures through this prober, which
+// makes the whole evaluation deterministic and immune to host GC and
+// scheduler jitter — the practical obstacle to microsecond-scale
+// probing from a garbage-collected runtime.
+package simprobe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+
+	pathload "repro"
+)
+
+// A Prober emits pathload streams over a simulated route.
+type Prober struct {
+	sim   *netsim.Simulator
+	route []*netsim.Link
+
+	// ReverseDelay models the control path back from receiver to
+	// sender (stream acknowledgments, RTT).
+	ReverseDelay netsim.Time
+	// ClockOffset is added to every measured OWD, emulating
+	// unsynchronized end-host clocks. Trend detection must be
+	// invariant to it.
+	ClockOffset time.Duration
+	// LossTimeout is how long past the nominal stream end the receiver
+	// waits for stragglers before declaring the rest lost.
+	LossTimeout netsim.Time
+
+	nextPktID uint64
+}
+
+// probeTag is the payload of simulated probe packets.
+type probeTag struct {
+	stream int
+	seq    int
+}
+
+// New creates a prober that injects at the head of route and measures
+// at its tail. reverseDelay models the uncongested return path.
+func New(sim *netsim.Simulator, route []*netsim.Link, reverseDelay netsim.Time) *Prober {
+	if len(route) == 0 {
+		panic("simprobe: empty route")
+	}
+	return &Prober{
+		sim:          sim,
+		route:        route,
+		ReverseDelay: reverseDelay,
+		LossTimeout:  200 * netsim.Millisecond,
+	}
+}
+
+// RTT returns the no-load round-trip time of the route: per-hop
+// propagation plus the reverse delay. Queueing is excluded; pathload
+// only needs a floor for inter-stream gaps.
+func (p *Prober) RTT() time.Duration {
+	var d netsim.Time
+	for _, l := range p.route {
+		d += l.PropDelay()
+	}
+	d += p.ReverseDelay
+	return d.Duration()
+}
+
+// Idle advances the simulation by d, letting cross traffic evolve and
+// queues drain between streams.
+func (p *Prober) Idle(d time.Duration) error {
+	p.sim.RunFor(netsim.FromDuration(d))
+	return nil
+}
+
+// SendStream schedules the K packet injections of one periodic stream,
+// runs the simulation until every packet has arrived or timed out, and
+// returns the per-packet relative OWDs.
+func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
+	if spec.K <= 0 || spec.L <= 0 || spec.T <= 0 {
+		return pathload.StreamResult{}, fmt.Errorf("simprobe: invalid stream spec %+v", spec)
+	}
+	period := netsim.FromDuration(spec.T)
+	start := p.sim.Now()
+
+	type arrival struct {
+		seq int
+		owd netsim.Time
+	}
+	var got []arrival
+
+	for i := 0; i < spec.K; i++ {
+		i := i
+		p.nextPktID++
+		pkt := &netsim.Packet{
+			ID:      p.nextPktID,
+			Size:    spec.L,
+			Payload: probeTag{stream: spec.Index, seq: i},
+		}
+		p.sim.Schedule(start+netsim.Time(i)*period, func() {
+			p.sim.Inject(pkt, p.route, func(pk *netsim.Packet, at netsim.Time) {
+				got = append(got, arrival{seq: i, owd: at - pk.SentAt})
+			})
+		})
+	}
+
+	// The stream finishes sending at start + K·T; give arrivals until
+	// the base path delay plus a generous queueing allowance.
+	deadline := start + netsim.Time(spec.K)*period + p.baseDelay(spec.L) + p.LossTimeout
+	p.sim.RunUntil(func() bool { return len(got) == spec.K }, deadline)
+
+	res := pathload.StreamResult{Sent: spec.K}
+	for _, a := range got {
+		res.OWDs = append(res.OWDs, pathload.OWDSample{
+			Seq: a.seq,
+			OWD: a.owd.Duration() + p.ClockOffset,
+		})
+	}
+	return res, nil
+}
+
+// baseDelay returns the queue-free path traversal time for a packet of
+// the given size.
+func (p *Prober) baseDelay(size int) netsim.Time {
+	var d netsim.Time
+	for _, l := range p.route {
+		d += l.PropDelay() + l.TxTime(size)
+	}
+	return d
+}

@@ -1,0 +1,211 @@
+package udprobe
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+
+	pathload "repro"
+)
+
+// ProberConfig tunes the receiver side.
+type ProberConfig struct {
+	// CollectSlack is added to the nominal stream duration plus RTT
+	// when waiting for probe packets (default 200 ms).
+	CollectSlack time.Duration
+	// ControlTimeout bounds control-channel exchanges (default 10 s).
+	ControlTimeout time.Duration
+}
+
+func (c ProberConfig) withDefaults() ProberConfig {
+	if c.CollectSlack == 0 {
+		c.CollectSlack = 200 * time.Millisecond
+	}
+	if c.ControlTimeout == 0 {
+		c.ControlTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// A Prober measures the path from a remote sender daemon to this host.
+// It implements pathload.Prober: each SendStream asks the sender to
+// emit one periodic UDP stream and timestamps its arrivals locally.
+// One-way delays are relative — sender and receiver clocks are never
+// synchronized; SLoPS only consumes OWD differences.
+type Prober struct {
+	cfg  ProberConfig
+	ctrl net.Conn
+	udp  *net.UDPConn
+	rtt  time.Duration
+	buf  []byte
+}
+
+// Dial connects to a sender daemon's control address and performs the
+// hello handshake. The returned prober must be closed after use.
+func Dial(senderAddr string, cfg ProberConfig) (*Prober, error) {
+	cfg = cfg.withDefaults()
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{})
+	if err != nil {
+		return nil, fmt.Errorf("udprobe: data listen: %w", err)
+	}
+	ctrl, err := net.DialTimeout("tcp", senderAddr, cfg.ControlTimeout)
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("udprobe: control dial: %w", err)
+	}
+	p := &Prober{cfg: cfg, ctrl: ctrl, udp: udp, buf: make([]byte, 64<<10)}
+
+	port := uint16(udp.LocalAddr().(*net.UDPAddr).Port)
+	t0 := time.Now()
+	if err := p.writeCtrl(wire.MsgHello, wire.MarshalHello(wire.Hello{Version: wire.Version, UDPPort: port})); err != nil {
+		p.Close()
+		return nil, err
+	}
+	mt, _, err := p.readCtrl()
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("udprobe: hello handshake: %w", err)
+	}
+	if mt != wire.MsgHelloAck {
+		p.Close()
+		return nil, fmt.Errorf("udprobe: expected hello-ack, got %v", mt)
+	}
+	p.rtt = time.Since(t0)
+	return p, nil
+}
+
+// Close says goodbye to the sender and releases sockets.
+func (p *Prober) Close() error {
+	if p.ctrl != nil {
+		// Best-effort farewell; the session also dies with the socket.
+		p.ctrl.SetWriteDeadline(time.Now().Add(time.Second))
+		_ = wire.WriteMessage(p.ctrl, wire.MsgBye, nil)
+		p.ctrl.Close()
+	}
+	if p.udp != nil {
+		p.udp.Close()
+	}
+	return nil
+}
+
+// RTT reports the control-channel round-trip time measured at
+// handshake, pathload's floor for inter-stream gaps.
+func (p *Prober) RTT() time.Duration { return p.rtt }
+
+// Idle sleeps; on a real network, waiting is waiting.
+func (p *Prober) Idle(d time.Duration) error {
+	time.Sleep(d)
+	return nil
+}
+
+// SendStream asks the sender for one stream and collects its packets.
+func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
+	var res pathload.StreamResult
+	if spec.Fleet < 0 {
+		// Wire fleet indices are unsigned; the init-probe's -1 maps to
+		// the top of the range.
+		spec.Fleet = 1<<31 - 1
+	}
+	req := wire.StreamRequest{
+		Fleet:    uint32(spec.Fleet),
+		Stream:   uint32(spec.Index),
+		K:        uint32(spec.K),
+		L:        uint32(spec.L),
+		PeriodNs: uint64(spec.T.Nanoseconds()),
+	}
+
+	if err := p.drainData(); err != nil {
+		return res, err
+	}
+	if err := p.writeCtrl(wire.MsgStreamRequest, wire.MarshalStreamRequest(req)); err != nil {
+		return res, err
+	}
+
+	type sample struct {
+		seq int
+		owd time.Duration
+	}
+	var got []sample
+	deadline := time.Now().Add(spec.Duration() + p.rtt + p.cfg.CollectSlack)
+	for len(got) < spec.K {
+		if err := p.udp.SetReadDeadline(deadline); err != nil {
+			return res, fmt.Errorf("udprobe: data deadline: %w", err)
+		}
+		n, err := p.udp.Read(p.buf)
+		recv := time.Now()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				break // the rest are lost
+			}
+			return res, fmt.Errorf("udprobe: data read: %w", err)
+		}
+		hdr, err := wire.UnmarshalProbe(p.buf[:n])
+		if err != nil {
+			continue // stray datagram on our port
+		}
+		if hdr.Fleet != req.Fleet || hdr.Stream != req.Stream {
+			continue // straggler from an earlier stream
+		}
+		got = append(got, sample{
+			seq: int(hdr.Seq),
+			owd: time.Duration(recv.UnixNano() - hdr.SentNs),
+		})
+	}
+
+	// The sender's verdict: how many packets went out, and whether the
+	// pacing was disturbed.
+	mt, payload, err := p.readCtrl()
+	if err != nil {
+		return res, fmt.Errorf("udprobe: awaiting stream-done: %w", err)
+	}
+	if mt != wire.MsgStreamDone {
+		return res, fmt.Errorf("udprobe: expected stream-done, got %v", mt)
+	}
+	done, err := wire.UnmarshalStreamDone(payload)
+	if err != nil {
+		return res, err
+	}
+
+	sort.Slice(got, func(i, j int) bool { return got[i].seq < got[j].seq })
+	res.Sent = int(done.Sent)
+	res.Flagged = done.Flagged != 0
+	for i, s := range got {
+		if i > 0 && got[i-1].seq == s.seq {
+			continue // duplicated datagram
+		}
+		res.OWDs = append(res.OWDs, pathload.OWDSample{Seq: s.seq, OWD: s.owd})
+	}
+	return res, nil
+}
+
+// drainData discards stale datagrams buffered on the data socket.
+func (p *Prober) drainData() error {
+	for {
+		if err := p.udp.SetReadDeadline(time.Now()); err != nil {
+			return fmt.Errorf("udprobe: drain deadline: %w", err)
+		}
+		if _, err := p.udp.Read(p.buf); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil
+			}
+			return fmt.Errorf("udprobe: drain read: %w", err)
+		}
+	}
+}
+
+func (p *Prober) writeCtrl(t wire.MsgType, payload []byte) error {
+	if err := p.ctrl.SetWriteDeadline(time.Now().Add(p.cfg.ControlTimeout)); err != nil {
+		return fmt.Errorf("udprobe: control deadline: %w", err)
+	}
+	return wire.WriteMessage(p.ctrl, t, payload)
+}
+
+func (p *Prober) readCtrl() (wire.MsgType, []byte, error) {
+	if err := p.ctrl.SetReadDeadline(time.Now().Add(p.cfg.ControlTimeout)); err != nil {
+		return 0, nil, fmt.Errorf("udprobe: control deadline: %w", err)
+	}
+	return wire.ReadMessage(p.ctrl)
+}

@@ -1,0 +1,246 @@
+// Package udprobe implements pathload on real networks: a sender
+// daemon that emits periodic UDP probe streams on request, and a
+// receiver-side Prober that drives the measurement over a TCP control
+// channel and timestamps arrivals.
+//
+// Timing on a garbage-collected runtime is the hard part (the reason
+// the paper-figure evaluation runs on the simulator instead): a GC
+// pause or scheduler preemption in the middle of a stream stretches an
+// interspacing and fakes a delay trend. The sender defends itself the
+// way the original tool does — it timestamps every packet at emission,
+// paces with a hybrid sleep/spin loop pinned to an OS thread, and
+// flags streams whose actual interspacings deviated, so the analysis
+// discards them instead of misreading them.
+package udprobe
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// SenderConfig tunes the sender daemon.
+type SenderConfig struct {
+	// MaxK and MaxL bound per-stream resource use against malformed or
+	// hostile requests (defaults 10000 packets and 64 kB).
+	MaxK, MaxL int
+	// SpinThreshold is the remaining-wait below which the pacer spins
+	// instead of sleeping (default 500 µs).
+	SpinThreshold time.Duration
+	// GapFactor flags a stream when any actual interspacing exceeds
+	// GapFactor·T + SpinThreshold (default 3).
+	GapFactor float64
+	// Logf, if set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.MaxK == 0 {
+		c.MaxK = 10_000
+	}
+	if c.MaxL == 0 {
+		c.MaxL = 64 << 10
+	}
+	if c.SpinThreshold == 0 {
+		c.SpinThreshold = 500 * time.Microsecond
+	}
+	if c.GapFactor == 0 {
+		c.GapFactor = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// A Sender is the pathload sender daemon: it accepts control sessions
+// and emits probe streams toward the session's receiver.
+type Sender struct {
+	cfg SenderConfig
+	ln  net.Listener
+}
+
+// NewSender listens for control connections on addr (e.g. ":8365").
+func NewSender(addr string, cfg SenderConfig) (*Sender, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udprobe: control listen: %w", err)
+	}
+	return &Sender{cfg: cfg.withDefaults(), ln: ln}, nil
+}
+
+// Addr returns the control listener's address.
+func (s *Sender) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting control sessions.
+func (s *Sender) Close() error { return s.ln.Close() }
+
+// Serve accepts and serves control sessions until the listener closes.
+// Sessions are served one at a time: concurrent measurements through
+// one sender would perturb each other by construction.
+func (s *Sender) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("udprobe: accept: %w", err)
+		}
+		if err := s.serveSession(conn); err != nil {
+			s.cfg.Logf("udprobe: session from %v: %v", conn.RemoteAddr(), err)
+		}
+	}
+}
+
+// serveSession handles one control session.
+func (s *Sender) serveSession(conn net.Conn) error {
+	defer conn.Close()
+
+	t, payload, err := wire.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if t != wire.MsgHello {
+		return fmt.Errorf("expected hello, got %v", t)
+	}
+	hello, err := wire.UnmarshalHello(payload)
+	if err != nil {
+		return err
+	}
+	if hello.Version != wire.Version {
+		return fmt.Errorf("protocol version %d, want %d", hello.Version, wire.Version)
+	}
+
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return fmt.Errorf("parsing peer address: %w", err)
+	}
+	dst, err := net.ResolveUDPAddr("udp", net.JoinHostPort(host, fmt.Sprint(hello.UDPPort)))
+	if err != nil {
+		return fmt.Errorf("resolving receiver data address: %w", err)
+	}
+	udp, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		return fmt.Errorf("opening data socket: %w", err)
+	}
+	defer udp.Close()
+
+	if err := wire.WriteMessage(conn, wire.MsgHelloAck, nil); err != nil {
+		return err
+	}
+
+	for {
+		t, payload, err := wire.ReadMessage(conn)
+		if err != nil {
+			return fmt.Errorf("reading control message: %w", err)
+		}
+		switch t {
+		case wire.MsgStreamRequest:
+			req, err := wire.UnmarshalStreamRequest(payload)
+			if err != nil {
+				return err
+			}
+			done, err := s.emitStream(udp, req)
+			if err != nil {
+				return fmt.Errorf("emitting stream %d/%d: %w", req.Fleet, req.Stream, err)
+			}
+			if err := wire.WriteMessage(conn, wire.MsgStreamDone, wire.MarshalStreamDone(done)); err != nil {
+				return err
+			}
+		case wire.MsgBye:
+			return nil
+		default:
+			return fmt.Errorf("unexpected control message %v", t)
+		}
+	}
+}
+
+// emitStream paces one periodic stream onto the data socket.
+func (s *Sender) emitStream(udp *net.UDPConn, req wire.StreamRequest) (wire.StreamDone, error) {
+	done := wire.StreamDone{Fleet: req.Fleet, Stream: req.Stream}
+	if int(req.K) > s.cfg.MaxK || int(req.L) > s.cfg.MaxL || req.K == 0 || int(req.L) < wire.ProbeHeaderSize {
+		return done, fmt.Errorf("stream request out of bounds: K=%d L=%d", req.K, req.L)
+	}
+	period := time.Duration(req.PeriodNs)
+	if period <= 0 {
+		return done, fmt.Errorf("non-positive period %v", period)
+	}
+
+	// Pin the pacing loop to an OS thread: a migration mid-stream is a
+	// guaranteed timing glitch.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	flagLimit := time.Duration(s.cfg.GapFactor*float64(period)) + s.cfg.SpinThreshold
+	start := time.Now()
+	prev := start
+	flagged := false
+
+	for i := uint32(0); i < req.K; i++ {
+		target := start.Add(time.Duration(i) * period)
+		sleepUntil(target, s.cfg.SpinThreshold)
+
+		now := time.Now()
+		buf, err := wire.MarshalProbe(wire.ProbeHeader{
+			Fleet:  req.Fleet,
+			Stream: req.Stream,
+			Seq:    i,
+			SentNs: now.UnixNano(),
+		}, int(req.L))
+		if err != nil {
+			return done, err
+		}
+		if _, err := udp.Write(buf); err != nil {
+			// A send failure mid-stream invalidates the stream but not
+			// the session; report what was sent.
+			s.cfg.Logf("udprobe: data send: %v", err)
+			flagged = true
+			break
+		}
+		if i > 0 && now.Sub(prev) > flagLimit {
+			flagged = true
+		}
+		prev = now
+		done.Sent++
+	}
+	if flagged {
+		done.Flagged = 1
+	}
+	return done, nil
+}
+
+// sleepUntil sleeps coarsely and then spins for the final approach, the
+// standard defense against timer granularity and scheduler wake-up
+// latency.
+func sleepUntil(target time.Time, spin time.Duration) {
+	for {
+		rem := time.Until(target)
+		if rem <= 0 {
+			return
+		}
+		if rem > spin {
+			time.Sleep(rem - spin)
+			continue
+		}
+		// Busy-wait the last stretch.
+		for time.Now().Before(target) {
+		}
+		return
+	}
+}
+
+// ListenAndServe runs a sender daemon until its listener fails.
+func ListenAndServe(addr string, cfg SenderConfig) error {
+	s, err := NewSender(addr, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("pathload sender: control on %v", s.Addr())
+	return s.Serve()
+}

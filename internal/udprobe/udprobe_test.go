@@ -1,0 +1,112 @@
+package udprobe
+
+import (
+	"testing"
+	"time"
+
+	pathload "repro"
+)
+
+// startSender runs a sender daemon on loopback and returns its control
+// address.
+func startSender(t *testing.T) string {
+	t.Helper()
+	s, err := NewSender("127.0.0.1:0", SenderConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("NewSender: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	go s.Serve()
+	return s.Addr().String()
+}
+
+// TestStreamRoundTrip exercises the full control + data path over
+// loopback: every probe packet should arrive, in order, with sane
+// relative OWDs.
+func TestStreamRoundTrip(t *testing.T) {
+	addr := startSender(t)
+	p, err := Dial(addr, ProberConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer p.Close()
+
+	spec := pathload.StreamSpec{
+		Rate:  10e6,
+		K:     50,
+		L:     200,
+		T:     200 * time.Microsecond,
+		Fleet: 0,
+		Index: 0,
+	}
+	res, err := p.SendStream(spec)
+	if err != nil {
+		t.Fatalf("SendStream: %v", err)
+	}
+	if res.Sent != spec.K {
+		t.Errorf("sent %d packets, want %d", res.Sent, spec.K)
+	}
+	if len(res.OWDs) < spec.K*9/10 {
+		t.Errorf("received %d of %d packets on loopback", len(res.OWDs), spec.K)
+	}
+	for i := 1; i < len(res.OWDs); i++ {
+		if res.OWDs[i].Seq <= res.OWDs[i-1].Seq {
+			t.Fatalf("OWD samples not strictly ordered by seq: %d then %d",
+				res.OWDs[i-1].Seq, res.OWDs[i].Seq)
+		}
+	}
+	t.Logf("loopback stream: %d/%d received, flagged=%v, first OWD %v",
+		len(res.OWDs), spec.K, res.Flagged, res.OWDs[0].OWD)
+}
+
+// TestSequentialStreams checks that stream boundaries are respected:
+// stragglers from stream n must not contaminate stream n+1.
+func TestSequentialStreams(t *testing.T) {
+	addr := startSender(t)
+	p, err := Dial(addr, ProberConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 3; i++ {
+		spec := pathload.StreamSpec{K: 20, L: 150, T: 300 * time.Microsecond, Fleet: 1, Index: i}
+		res, err := p.SendStream(spec)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if len(res.OWDs) > spec.K {
+			t.Errorf("stream %d: %d samples exceed K=%d (cross-stream contamination)", i, len(res.OWDs), spec.K)
+		}
+		if err := p.Idle(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMeasureLoopback runs the complete pathload search against the
+// loopback interface. Loopback capacity is effectively unbounded, so
+// the tool must finish with its HitMax flag raised rather than invent
+// a number.
+func TestMeasureLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive loopback measurement")
+	}
+	addr := startSender(t)
+	p, err := Dial(addr, ProberConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer p.Close()
+
+	res, err := pathload.Run(p, pathload.Config{
+		PacketsPerStream: 50,
+		StreamsPerFleet:  3,
+		MaxFleets:        10,
+		MinPeriod:        50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("loopback measurement: %v (ADR %.0f Mb/s)", res, res.ADR/1e6)
+}

@@ -1,0 +1,233 @@
+// Package wire defines the binary formats of the real-network pathload
+// tool: fixed-layout probe packets on the UDP data channel and
+// length-prefixed control messages on the TCP control channel. All
+// integers are big-endian. The formats are versioned through a magic
+// number so incompatible peers fail fast instead of mis-measuring.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies pathload probe packets and control streams.
+const Magic uint32 = 0x534c5053 // "SLPS"
+
+// ProbeHeaderSize is the wire size of a probe packet header; probe
+// packets are padded to the stream's configured packet size L.
+const ProbeHeaderSize = 4 + 4 + 4 + 4 + 8
+
+// A ProbeHeader leads every UDP probe packet.
+type ProbeHeader struct {
+	Fleet  uint32 // fleet index within a measurement
+	Stream uint32 // stream index within the fleet
+	Seq    uint32 // packet index within the stream
+	SentNs int64  // sender timestamp, nanoseconds (sender clock)
+}
+
+// MarshalProbe encodes h into a buffer of the given total packet size,
+// zero-padding the remainder. size must fit the header.
+func MarshalProbe(h ProbeHeader, size int) ([]byte, error) {
+	if size < ProbeHeaderSize {
+		return nil, fmt.Errorf("wire: probe size %d below header size %d", size, ProbeHeaderSize)
+	}
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf[0:], Magic)
+	binary.BigEndian.PutUint32(buf[4:], h.Fleet)
+	binary.BigEndian.PutUint32(buf[8:], h.Stream)
+	binary.BigEndian.PutUint32(buf[12:], h.Seq)
+	binary.BigEndian.PutUint64(buf[16:], uint64(h.SentNs))
+	return buf, nil
+}
+
+// ErrNotProbe reports a datagram that is not a pathload probe.
+var ErrNotProbe = errors.New("wire: not a pathload probe packet")
+
+// UnmarshalProbe decodes a probe packet header.
+func UnmarshalProbe(buf []byte) (ProbeHeader, error) {
+	if len(buf) < ProbeHeaderSize {
+		return ProbeHeader{}, fmt.Errorf("%w: %d bytes", ErrNotProbe, len(buf))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != Magic {
+		return ProbeHeader{}, ErrNotProbe
+	}
+	return ProbeHeader{
+		Fleet:  binary.BigEndian.Uint32(buf[4:]),
+		Stream: binary.BigEndian.Uint32(buf[8:]),
+		Seq:    binary.BigEndian.Uint32(buf[12:]),
+		SentNs: int64(binary.BigEndian.Uint64(buf[16:])),
+	}, nil
+}
+
+// Control message types.
+type MsgType uint8
+
+// Control channel messages. The receiver (measurement initiator) sends
+// StreamRequest; the sender answers each stream with StreamDone after
+// emitting it.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgStreamRequest
+	MsgStreamDone
+	MsgBye
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgStreamRequest:
+		return "stream-request"
+	case MsgStreamDone:
+		return "stream-done"
+	case MsgBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Version is the control protocol version.
+const Version uint16 = 1
+
+// A Hello opens a control session and advertises the UDP port the
+// receiver listens on.
+type Hello struct {
+	Version uint16
+	UDPPort uint16
+}
+
+// A StreamRequest asks the sender to emit one periodic stream.
+type StreamRequest struct {
+	Fleet    uint32
+	Stream   uint32
+	K        uint32 // packets
+	L        uint32 // packet size, bytes (UDP payload)
+	PeriodNs uint64 // packet interspacing
+}
+
+// A StreamDone reports how the sender actually paced the stream.
+type StreamDone struct {
+	Fleet   uint32
+	Stream  uint32
+	Sent    uint32 // packets emitted
+	Flagged uint8  // 1 if pacing was disturbed (context switch etc.)
+}
+
+// Maximum control frame payload; defends against garbage lengths.
+const maxFrame = 1024
+
+// WriteMessage writes a length-prefixed control frame:
+// [magic u32][type u8][len u16][payload].
+func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wire: control payload %d exceeds limit %d", len(payload), maxFrame)
+	}
+	hdr := make([]byte, 7)
+	binary.BigEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = uint8(t)
+	binary.BigEndian.PutUint16(hdr[5:], uint16(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: writing control header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: writing control payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads one control frame.
+func ReadMessage(r io.Reader) (MsgType, []byte, error) {
+	hdr := make([]byte, 7)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
+		return 0, nil, errors.New("wire: bad control magic")
+	}
+	t := MsgType(hdr[4])
+	n := binary.BigEndian.Uint16(hdr[5:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("wire: control payload %d exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading control payload: %w", err)
+	}
+	return t, payload, nil
+}
+
+// MarshalHello encodes a Hello payload.
+func MarshalHello(h Hello) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf[0:], h.Version)
+	binary.BigEndian.PutUint16(buf[2:], h.UDPPort)
+	return buf
+}
+
+// UnmarshalHello decodes a Hello payload.
+func UnmarshalHello(buf []byte) (Hello, error) {
+	if len(buf) != 4 {
+		return Hello{}, fmt.Errorf("wire: hello payload %d bytes, want 4", len(buf))
+	}
+	return Hello{
+		Version: binary.BigEndian.Uint16(buf[0:]),
+		UDPPort: binary.BigEndian.Uint16(buf[2:]),
+	}, nil
+}
+
+// MarshalStreamRequest encodes a StreamRequest payload.
+func MarshalStreamRequest(q StreamRequest) []byte {
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint32(buf[0:], q.Fleet)
+	binary.BigEndian.PutUint32(buf[4:], q.Stream)
+	binary.BigEndian.PutUint32(buf[8:], q.K)
+	binary.BigEndian.PutUint32(buf[12:], q.L)
+	binary.BigEndian.PutUint64(buf[16:], q.PeriodNs)
+	return buf
+}
+
+// UnmarshalStreamRequest decodes a StreamRequest payload.
+func UnmarshalStreamRequest(buf []byte) (StreamRequest, error) {
+	if len(buf) != 24 {
+		return StreamRequest{}, fmt.Errorf("wire: stream-request payload %d bytes, want 24", len(buf))
+	}
+	return StreamRequest{
+		Fleet:    binary.BigEndian.Uint32(buf[0:]),
+		Stream:   binary.BigEndian.Uint32(buf[4:]),
+		K:        binary.BigEndian.Uint32(buf[8:]),
+		L:        binary.BigEndian.Uint32(buf[12:]),
+		PeriodNs: binary.BigEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// MarshalStreamDone encodes a StreamDone payload.
+func MarshalStreamDone(d StreamDone) []byte {
+	buf := make([]byte, 13)
+	binary.BigEndian.PutUint32(buf[0:], d.Fleet)
+	binary.BigEndian.PutUint32(buf[4:], d.Stream)
+	binary.BigEndian.PutUint32(buf[8:], d.Sent)
+	buf[12] = d.Flagged
+	return buf
+}
+
+// UnmarshalStreamDone decodes a StreamDone payload.
+func UnmarshalStreamDone(buf []byte) (StreamDone, error) {
+	if len(buf) != 13 {
+		return StreamDone{}, fmt.Errorf("wire: stream-done payload %d bytes, want 13", len(buf))
+	}
+	return StreamDone{
+		Fleet:   binary.BigEndian.Uint32(buf[0:]),
+		Stream:  binary.BigEndian.Uint32(buf[4:]),
+		Sent:    binary.BigEndian.Uint32(buf[8:]),
+		Flagged: buf[12],
+	}, nil
+}

@@ -1,0 +1,133 @@
+package pathload
+
+import (
+	"fmt"
+	"time"
+)
+
+// StreamKind is a pathload-level stream verdict.
+type StreamKind int
+
+// Stream verdicts: increasing OWD trend (rate above avail-bw),
+// non-increasing, or discarded (lossy/flagged, did not vote).
+const (
+	StreamNonIncreasing StreamKind = iota
+	StreamIncreasing
+	StreamDiscarded
+)
+
+// String names the stream verdict.
+func (k StreamKind) String() string {
+	switch k {
+	case StreamNonIncreasing:
+		return "N"
+	case StreamIncreasing:
+		return "I"
+	case StreamDiscarded:
+		return "discard"
+	default:
+		return fmt.Sprintf("StreamKind(%d)", int(k))
+	}
+}
+
+// Verdict is a pathload-level fleet verdict.
+type Verdict int
+
+// Fleet verdicts: the probing rate was below the avail-bw, above it, in
+// the grey region (the avail-bw fluctuated around it), or the fleet was
+// aborted because of losses (treated as "rate too high").
+const (
+	FleetBelow Verdict = iota
+	FleetAbove
+	FleetGrey
+	FleetAborted
+)
+
+// String names the fleet verdict.
+func (v Verdict) String() string {
+	switch v {
+	case FleetBelow:
+		return "R<A"
+	case FleetAbove:
+		return "R>A"
+	case FleetGrey:
+		return "grey"
+	case FleetAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// A StreamTrace records the classification of one stream.
+type StreamTrace struct {
+	Kind StreamKind
+	PCT  float64 // pairwise comparison test statistic
+	PDT  float64 // pairwise difference test statistic
+	Loss float64 // fraction of the stream's packets lost
+}
+
+// A FleetTrace records one fleet of the iterative search.
+type FleetTrace struct {
+	Rate    float64       // requested fleet rate, bits/s
+	L       int           // probe packet size, bytes
+	T       time.Duration // packet interspacing
+	Delta   time.Duration // idle gap between streams
+	Verdict Verdict
+	Streams []StreamTrace
+}
+
+// A Result is the outcome of one pathload run.
+type Result struct {
+	// Lo and Hi bracket the avail-bw variation range observed during
+	// the measurement, in bits/s: the paper's [Rmin, Rmax].
+	Lo, Hi float64
+	// GreySet reports whether a grey region was detected; GreyLo and
+	// GreyHi bound it when set.
+	GreySet        bool
+	GreyLo, GreyHi float64
+	// HitMax means no fleet ever observed an increasing trend: the
+	// avail-bw is at or above Hi (which equals the probing limit).
+	// HitMin is the symmetric bottom-of-range flag.
+	HitMax, HitMin bool
+	// ADR is the asymptotic dispersion rate measured by the
+	// initialization stream (0 when the probe is disabled or failed);
+	// it upper-bounds the search.
+	ADR float64
+	// Fleets is the full search log.
+	Fleets []FleetTrace
+	// Elapsed is the probing time consumed: stream durations plus
+	// inter-stream idles (virtual time under the simulator).
+	Elapsed time.Duration
+}
+
+// Mid returns the center of the reported range.
+func (r Result) Mid() float64 { return (r.Lo + r.Hi) / 2 }
+
+// Width returns Hi − Lo.
+func (r Result) Width() float64 { return r.Hi - r.Lo }
+
+// RelVar returns ρ (Eq. 12), the range width over its center — the
+// paper's measure of avail-bw variability. It returns 0 for a
+// zero-center range.
+func (r Result) RelVar() float64 {
+	if r.Mid() == 0 {
+		return 0
+	}
+	return r.Width() / r.Mid()
+}
+
+// Contains reports whether a falls inside the reported range.
+func (r Result) Contains(a float64) bool { return a >= r.Lo && a <= r.Hi }
+
+// String formats the range in Mb/s.
+func (r Result) String() string {
+	s := fmt.Sprintf("avail-bw [%.2f, %.2f] Mb/s", r.Lo/1e6, r.Hi/1e6)
+	if r.GreySet {
+		s += fmt.Sprintf(" (grey [%.2f, %.2f])", r.GreyLo/1e6, r.GreyHi/1e6)
+	}
+	if r.HitMax {
+		s += " (at probe limit: true avail-bw may be higher)"
+	}
+	return s
+}

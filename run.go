@@ -1,0 +1,222 @@
+package pathload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Run performs one complete pathload measurement over the given prober
+// and returns the avail-bw range. It drives the SLoPS iterative
+// algorithm: propose a fleet rate, emit N streams at that rate,
+// classify each stream's OWD trend, fold the stream verdicts into a
+// fleet verdict (including the grey region), and bisect until the
+// termination resolutions ω and χ are met.
+func Run(p Prober, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	if !cfg.DisableInitProbe {
+		adr, elapsed, err := initProbe(p, cfg)
+		res.Elapsed += elapsed
+		if err != nil {
+			return res, fmt.Errorf("pathload: init probe: %w", err)
+		}
+		res.ADR = adr
+		if adr > 0 {
+			if capped := adr * ADRMargin; capped < cfg.MaxRate {
+				cfg.MaxRate = capped
+			}
+			if cfg.MinRate >= cfg.MaxRate {
+				cfg.MinRate = 0
+			}
+		}
+	}
+
+	ctrl, err := core.NewController(core.ControllerConfig{
+		MinRate:        cfg.MinRate,
+		MaxRate:        cfg.MaxRate,
+		Resolution:     cfg.Resolution,
+		GreyResolution: cfg.GreyResolution,
+		InitialRate:    cfg.InitialRate,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	trendCfg := core.TrendConfig{
+		PCTIncreasing:    cfg.PCTIncreasing,
+		PCTNonIncreasing: cfg.PCTNonIncreasing,
+		PDTIncreasing:    cfg.PDTIncreasing,
+		PDTNonIncreasing: cfg.PDTNonIncreasing,
+		DisablePCT:       cfg.DisablePCT,
+		DisablePDT:       cfg.DisablePDT,
+		Gamma:            cfg.MedianGroups,
+	}
+
+	for fleet := 0; !ctrl.Done() && fleet < cfg.MaxFleets; fleet++ {
+		rate := ctrl.Rate()
+		trace, verdict, elapsed, err := runFleet(p, cfg, trendCfg, fleet, rate)
+		res.Elapsed += elapsed
+		if err != nil {
+			return res, fmt.Errorf("pathload: fleet %d at %.2f Mb/s: %w", fleet, rate/1e6, err)
+		}
+		res.Fleets = append(res.Fleets, trace)
+		ctrl.Record(coreVerdict(verdict))
+	}
+
+	cr := ctrl.Result()
+	res.Lo, res.Hi = cr.Lo, cr.Hi
+	res.GreySet, res.GreyLo, res.GreyHi = cr.GreySet, cr.GreyLo, cr.GreyHi
+	res.HitMax, res.HitMin = cr.HitMax, cr.HitMin
+	return res, nil
+}
+
+// initProbe sends one short stream at the generation limit and
+// estimates the path's asymptotic dispersion rate from the arrival
+// spacing of the received packets: (received−1)·L·8 over the time
+// between the first and last arrival. In the fluid model the ADR of a
+// saturating train satisfies A ≤ ADR ≤ C, so it upper-bounds the
+// avail-bw search.
+func initProbe(p Prober, cfg Config) (adr float64, elapsed time.Duration, err error) {
+	rate := cfg.GenerationLimit()
+	l, t := cfg.StreamParams(rate)
+	k := cfg.InitProbePackets
+	spec := StreamSpec{Rate: rate, K: k, L: l, T: t, Fleet: -1}
+	sr, err := p.SendStream(spec)
+	elapsed = spec.Duration()
+	if err != nil {
+		return 0, elapsed, err
+	}
+	if idle := p.RTT(); idle > 0 {
+		if err := p.Idle(idle); err != nil {
+			return 0, elapsed, err
+		}
+		elapsed += idle
+	}
+	if len(sr.OWDs) < 2 {
+		return 0, elapsed, nil // unusable train; keep the configured MaxRate
+	}
+	first, last := sr.OWDs[0], sr.OWDs[len(sr.OWDs)-1]
+	span := time.Duration(last.Seq-first.Seq)*t + (last.OWD - first.OWD)
+	if span <= 0 {
+		return 0, elapsed, nil
+	}
+	bits := float64(last.Seq-first.Seq) * float64(l) * 8
+	return bits / span.Seconds(), elapsed, nil
+}
+
+// runFleet emits one fleet of N streams at the given rate and reduces
+// it to a verdict. It aborts early — per the paper's loss policy — when
+// a stream loses more than StreamAbortLoss of its packets or when more
+// than half the streams so far are moderately lossy.
+func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate float64) (FleetTrace, Verdict, time.Duration, error) {
+	l, t := cfg.StreamParams(rate)
+	tau := time.Duration(cfg.PacketsPerStream) * t
+	delta := time.Duration(cfg.InterStreamRTTs) * tau
+	if rtt := p.RTT(); delta < rtt {
+		delta = rtt
+	}
+
+	trace := FleetTrace{Rate: rate, L: l, T: t, Delta: delta}
+	var elapsed time.Duration
+	var kinds []core.StreamType
+	moderatelyLossy := 0
+	aborted := false
+
+	for i := 0; i < cfg.StreamsPerFleet; i++ {
+		spec := StreamSpec{Rate: rate, K: cfg.PacketsPerStream, L: l, T: t, Fleet: fleet, Index: i}
+		sr, err := p.SendStream(spec)
+		elapsed += tau
+		if err != nil {
+			return trace, FleetAborted, elapsed, err
+		}
+
+		st := StreamTrace{Loss: sr.LossRate()}
+		var kind core.StreamType
+		switch {
+		case sr.Flagged:
+			kind = core.TypeDiscard
+		case sr.LossRate() > cfg.StreamAbortLoss:
+			// One badly lossy stream condemns the whole fleet.
+			aborted = true
+			kind = core.TypeDiscard
+		default:
+			var metrics core.TrendMetrics
+			kind, metrics = core.ClassifyOWDs(sr.owdSeconds(), trendCfg)
+			st.PCT, st.PDT = metrics.PCT, metrics.PDT
+		}
+		if !aborted && sr.LossRate() > cfg.ModerateLoss {
+			moderatelyLossy++
+			if 2*moderatelyLossy > cfg.StreamsPerFleet {
+				aborted = true
+			}
+		}
+		st.Kind = streamKind(kind)
+		trace.Streams = append(trace.Streams, st)
+		kinds = append(kinds, kind)
+
+		if aborted {
+			break
+		}
+		if i < cfg.StreamsPerFleet-1 {
+			if err := p.Idle(delta); err != nil {
+				return trace, FleetAborted, elapsed, err
+			}
+			elapsed += delta
+		}
+	}
+
+	var verdict Verdict
+	if aborted {
+		verdict = FleetAborted
+	} else {
+		verdict = fleetVerdict(core.ClassifyFleet(kinds, cfg.FleetFraction))
+	}
+	trace.Verdict = verdict
+	return trace, verdict, elapsed, nil
+}
+
+// streamKind converts the core stream verdict to the public enum.
+func streamKind(t core.StreamType) StreamKind {
+	switch t {
+	case core.TypeIncreasing:
+		return StreamIncreasing
+	case core.TypeNonIncreasing:
+		return StreamNonIncreasing
+	default:
+		return StreamDiscarded
+	}
+}
+
+// fleetVerdict converts the core fleet verdict to the public enum.
+func fleetVerdict(v core.FleetVerdict) Verdict {
+	switch v {
+	case core.VerdictBelow:
+		return FleetBelow
+	case core.VerdictAbove:
+		return FleetAbove
+	case core.VerdictGrey:
+		return FleetGrey
+	default:
+		return FleetAborted
+	}
+}
+
+// coreVerdict converts the public verdict back to the controller's.
+func coreVerdict(v Verdict) core.FleetVerdict {
+	switch v {
+	case FleetBelow:
+		return core.VerdictBelow
+	case FleetAbove:
+		return core.VerdictAbove
+	case FleetGrey:
+		return core.VerdictGrey
+	default:
+		return core.VerdictAborted
+	}
+}
