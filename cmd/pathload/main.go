@@ -9,12 +9,20 @@
 //
 // measures a five-hop path whose 10 Mb/s tight link runs at 60%
 // utilization (true avail-bw 4 Mb/s).
+//
+// Monitor mode measures a whole fleet of simulated paths concurrently
+// and periodically, streaming one timestamped avail-bw range per path
+// per round:
+//
+//	pathload -monitor -paths 64 -rounds 3 -interval 100ms -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/crosstraffic"
@@ -39,6 +47,13 @@ func main() {
 		omega   = flag.Float64("omega", pathload.DefaultResolution/1e6, "estimation resolution ω, Mb/s")
 		chi     = flag.Float64("chi", pathload.DefaultGreyResolution/1e6, "grey resolution χ, Mb/s")
 		verbose = flag.Bool("v", false, "log every fleet")
+
+		monitor  = flag.Bool("monitor", false, "monitor a fleet of single-hop paths instead of measuring one (honors -cap -util -model -sources -seed -k -n -omega -chi)")
+		paths    = flag.Int("paths", 16, "monitor: number of simulated paths")
+		rounds   = flag.Int("rounds", 3, "monitor: measurements per path (≥ 1)")
+		interval = flag.Duration("interval", 100*time.Millisecond, "monitor: re-measurement gap per path")
+		jitter   = flag.Float64("jitter", 0.3, "monitor: gap randomization fraction in [0,1]")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "monitor: max concurrent measurements")
 	)
 	flag.Parse()
 
@@ -53,6 +68,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pathload: unknown model %q\n", *model)
 		os.Exit(2)
+	}
+
+	if *monitor {
+		if *rounds < 1 {
+			fmt.Fprintln(os.Stderr, "pathload: -monitor needs -rounds ≥ 1")
+			os.Exit(2)
+		}
+		runMonitor(monitorOpts{
+			paths: *paths, rounds: *rounds, workers: *workers,
+			interval: *interval, jitter: *jitter,
+			capMbps: *capMbps, util: *util, model: m, sources: *sources, seed: *seed,
+			measure: pathload.Config{
+				PacketsPerStream: *k,
+				StreamsPerFleet:  *n,
+				Resolution:       *omega * 1e6,
+				GreyResolution:   *chi * 1e6,
+			},
+		})
+		return
 	}
 
 	topo := experiments.Topology{
@@ -103,3 +137,93 @@ func main() {
 	fmt.Printf("probe time:    %v (virtual), %v (wall)\n", res.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("sim events:    %d\n", net.Sim.Events())
 }
+
+// monitorOpts carries the fleet-mode flags.
+type monitorOpts struct {
+	paths, rounds, workers int
+	interval               time.Duration
+	jitter                 float64
+	capMbps, util          float64
+	model                  crosstraffic.Model
+	sources                int
+	seed                   int64
+	measure                pathload.Config
+}
+
+// runMonitor builds a fleet of single-hop paths whose utilizations
+// sweep around the -util flag, warms every shard in parallel, and
+// streams the monitor's samples as they complete.
+func runMonitor(o monitorOpts) {
+	nets := make([]*experiments.Net, o.paths)
+	sims := make([]*netsim.Simulator, o.paths)
+	avail := map[string]float64{}
+	for i := range nets {
+		// Sweep utilization across ±50% of the flag, clamped to [0.05, 0.9].
+		u := o.util * (0.5 + float64(i)/float64(max(o.paths-1, 1)))
+		u = math.Min(0.9, math.Max(0.05, u))
+		topo := experiments.Topology{
+			Hops:          1,
+			TightCap:      o.capMbps * 1e6,
+			TightUtil:     u,
+			Model:         o.model,
+			SourcesPerHop: o.sources,
+			Seed:          o.seed + int64(i)*7_919_317,
+		}
+		nets[i] = topo.Build()
+		sims[i] = nets[i].Sim
+		avail[pathID(i)] = topo.AvailBw()
+	}
+	netsim.NewLockstep(0, sims...).AdvanceTo(3 * netsim.Second)
+
+	mon, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  o.workers,
+		Rounds:   o.rounds,
+		Interval: o.interval,
+		Jitter:   o.jitter,
+		Seed:     o.seed,
+		Config:   o.measure,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
+		os.Exit(1)
+	}
+	for i, n := range nets {
+		p := simprobe.New(n.Sim, n.Links, 10*netsim.Millisecond)
+		if err := mon.AddPath(pathID(i), p); err != nil {
+			fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	if err := mon.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
+		os.Exit(1)
+	}
+	hit := 0
+	total := 0
+	for s := range mon.Results() {
+		total++
+		if s.Err != nil {
+			fmt.Printf("%s\n", s)
+			continue
+		}
+		// Same bracketing slack as the dynamics-at-scale experiment:
+		// the termination resolutions ω + χ.
+		a := avail[s.Path]
+		slack := o.measure.Resolution + o.measure.GreyResolution
+		if slack == 0 {
+			slack = pathload.DefaultResolution + pathload.DefaultGreyResolution
+		}
+		if s.Result.Lo-slack <= a && a <= s.Result.Hi+slack {
+			hit++
+		}
+		fmt.Printf("%-9s r%d @%-8v true %6.2f Mb/s → %v\n",
+			s.Path, s.Round, s.At.Round(time.Millisecond), a/1e6, s.Result)
+	}
+	mon.Wait()
+	fmt.Printf("fleet: %d paths × %d rounds in %v wall; %d/%d ranges bracket the true avail-bw\n",
+		o.paths, o.rounds, time.Since(start).Round(time.Millisecond), hit, total)
+}
+
+// pathID names fleet path i.
+func pathID(i int) string { return fmt.Sprintf("path-%02d", i) }

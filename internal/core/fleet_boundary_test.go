@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+// TestClassifyFleetExactThreshold pins the boundary semantics of the
+// agreement rule: a fleet whose voting count lands EXACTLY on f·voting
+// is declared, not grey — the comparison is ≥, matching the paper's
+// "at least a fraction f of the streams".
+func TestClassifyFleetExactThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		inc, non, dis int
+		f             float64
+		want          FleetVerdict
+	}{
+		// DefaultFleetFraction on 10 voters: need = 7 exactly.
+		{"exact 7/10 increasing", 7, 3, 0, DefaultFleetFraction, VerdictAbove},
+		{"exact 7/10 non-increasing", 3, 7, 0, DefaultFleetFraction, VerdictBelow},
+		{"one short of 7/10", 6, 4, 0, DefaultFleetFraction, VerdictGrey},
+		// Discards shrink the electorate: 7 of 10 voters, 2 discarded.
+		{"exact 7/10 voters with discards", 7, 3, 2, DefaultFleetFraction, VerdictAbove},
+		// 20 voters: need = 14 exactly.
+		{"exact 14/20", 14, 6, 0, DefaultFleetFraction, VerdictAbove},
+		{"13/20 is grey", 13, 7, 0, DefaultFleetFraction, VerdictGrey},
+		// Fractional threshold: 5 voters at f = 0.7 need 3.5, so 3
+		// misses and 4 clears.
+		{"3/5 under fractional need", 3, 2, 0, DefaultFleetFraction, VerdictGrey},
+		{"4/5 over fractional need", 4, 1, 0, DefaultFleetFraction, VerdictAbove},
+		// A single surviving voter decides alone at any f.
+		{"lone voter increasing", 1, 0, 11, DefaultFleetFraction, VerdictAbove},
+		{"lone voter non-increasing", 0, 1, 11, 1.0, VerdictBelow},
+	} {
+		got := ClassifyFleet(repeat(tc.inc, tc.non, tc.dis), tc.f)
+		if got != tc.want {
+			t.Errorf("%s: ClassifyFleet(I=%d N=%d D=%d, f=%v) = %v, want %v",
+				tc.name, tc.inc, tc.non, tc.dis, tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyFleetGreyTies pins tie handling. With f ≤ 0.5 both camps
+// can clear the threshold at once; the increasing camp is checked
+// first, so losses err toward "rate too high" — the conservative
+// direction for an avail-bw bound. With f > 0.5 a tie is always grey.
+func TestClassifyFleetGreyTies(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		inc, non, dis int
+		f             float64
+		want          FleetVerdict
+	}{
+		{"6-6 tie at default f", 6, 6, 0, DefaultFleetFraction, VerdictGrey},
+		{"6-6 tie at f=0.5 breaks increasing", 6, 6, 0, 0.5, VerdictAbove},
+		{"5-5 tie with discards at f=0.5", 5, 5, 2, 0.5, VerdictAbove},
+		{"tie at f=1 is grey", 6, 6, 0, 1.0, VerdictGrey},
+		// Near-ties around the grey band.
+		{"7-5 at default f is grey", 7, 5, 0, DefaultFleetFraction, VerdictGrey},
+		{"5-7 at default f is grey", 5, 7, 0, DefaultFleetFraction, VerdictGrey},
+	} {
+		got := ClassifyFleet(repeat(tc.inc, tc.non, tc.dis), tc.f)
+		if got != tc.want {
+			t.Errorf("%s: ClassifyFleet(I=%d N=%d D=%d, f=%v) = %v, want %v",
+				tc.name, tc.inc, tc.non, tc.dis, tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyFleetAllAborted: fleets with no surviving voters abort
+// regardless of f or fleet size — including the empty fleet and the
+// single-discard fleet.
+func TestClassifyFleetAllAborted(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dis  int
+		f    float64
+	}{
+		{"empty fleet", 0, DefaultFleetFraction},
+		{"single discard", 1, DefaultFleetFraction},
+		{"full fleet discarded", 12, DefaultFleetFraction},
+		{"full fleet discarded at f=1", 12, 1.0},
+		{"full fleet discarded at default selector", 48, 0},
+	} {
+		if got := ClassifyFleet(repeat(0, 0, tc.dis), tc.f); got != VerdictAborted {
+			t.Errorf("%s: ClassifyFleet = %v, want %v", tc.name, got, VerdictAborted)
+		}
+	}
+}
+
+// TestClassifyFleetNegativeFraction completes the panic contract for
+// the lower bound (the upper bound is covered in fleet_test.go).
+func TestClassifyFleetNegativeFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("f < 0 did not panic")
+		}
+	}()
+	ClassifyFleet(repeat(1, 0, 0), -0.1)
+}

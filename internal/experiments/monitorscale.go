@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/crosstraffic"
+	"repro/internal/mrtg"
+	"repro/internal/netsim"
+	"repro/internal/simprobe"
+
+	pathload "repro"
+)
+
+// ScaleFleetPaths is the number of concurrent simulated paths in the
+// dynamics-at-scale experiment. The monitor acceptance bar is 64; the
+// experiment holds the path count fixed and scales rounds instead so
+// the fleet shape is always exercised.
+const ScaleFleetPaths = 64
+
+// scaleFullRounds is the paper-scale number of re-measurement rounds
+// per path.
+const scaleFullRounds = 6
+
+// A ScalePoint is one timestamped avail-bw range of a path's series.
+type ScalePoint struct {
+	At     time.Duration // path-local virtual time of the round's start
+	Lo, Hi float64       // reported range, bits/s
+}
+
+// A PathSeries is one path's avail-bw-over-time record from the
+// monitored fleet — one line of the paper's §VI time-series figures,
+// with the simulation's MRTG reading as ground truth.
+type PathSeries struct {
+	Path string
+	// True is the configured avail-bw A = C_t·(1 − u_t).
+	True float64
+	// MRTG is the tight link's counter-measured avail-bw over the whole
+	// monitored span (probe load included, as a real MRTG would see).
+	MRTG float64
+	// Points is the per-round series, in round order.
+	Points []ScalePoint
+	// Covered counts rounds whose range brackets True within the
+	// termination slack ω + χ.
+	Covered int
+}
+
+// A ScaleResult is the outcome of the dynamics-at-scale experiment.
+type ScaleResult struct {
+	Paths   []PathSeries
+	Rounds  int
+	Workers int
+	// Events is the total number of simulator events across the fleet.
+	Events uint64
+	// Wall is the host time the whole fleet run took.
+	Wall time.Duration
+}
+
+// Coverage returns the fraction of path-rounds whose reported range
+// bracketed the configured avail-bw.
+func (r ScaleResult) Coverage() float64 {
+	var covered, total int
+	for _, p := range r.Paths {
+		covered += p.Covered
+		total += len(p.Points)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// scaleTopology derives the fleet's per-path topologies: capacities
+// cycle through the paper's link classes and utilization sweeps
+// [0.15, 0.75], so the fleet spans quiet to heavily loaded paths.
+func scaleTopology(i int, seed int64) Topology {
+	caps := []float64{6.1e6, 10e6, 12.4e6, 24e6}
+	return Topology{
+		Hops:          1,
+		TightCap:      caps[i%len(caps)],
+		TightUtil:     0.15 + 0.60*float64(i)/float64(ScaleFleetPaths-1),
+		SourcesPerHop: 4,
+		Model:         crosstraffic.ModelCBR,
+		Seed:          seed + int64(i)*7_919_317,
+	}
+}
+
+// DynamicsAtScale runs the monitor subsystem over a fleet of
+// ScaleFleetPaths concurrent simulated paths: every path is its own
+// simulator shard (warmed up in parallel on a netsim.Lockstep clock),
+// pathload.Monitor re-measures each on a jittered interval through a
+// bounded worker pool, and the per-path time series are checked against
+// both the configured avail-bw and the tight link's MRTG reading. The
+// run is deterministic: identical Options give identical series
+// regardless of host scheduling.
+func DynamicsAtScale(opt Options) ScaleResult {
+	opt = opt.withDefaults()
+	rounds := opt.runs(scaleFullRounds)
+
+	nets := make([]*Net, ScaleFleetPaths)
+	sims := make([]*netsim.Simulator, ScaleFleetPaths)
+	monitors := make([]*mrtg.Monitor, ScaleFleetPaths)
+	for i := range nets {
+		nets[i] = scaleTopology(i, opt.Seed).Build()
+		sims[i] = nets[i].Sim
+		monitors[i] = mrtg.NewMonitor(nets[i].Sim, nets[i].Tight(), 500*netsim.Millisecond)
+	}
+	netsim.NewLockstep(0, sims...).AdvanceTo(warmup)
+	for _, m := range monitors {
+		m.Start()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	mon, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  workers,
+		Rounds:   rounds,
+		Interval: 100 * time.Millisecond,
+		Jitter:   0.3,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: dynamics-at-scale: %v", err))
+	}
+	for i, n := range nets {
+		p := simprobe.New(n.Sim, n.Links, 10*netsim.Millisecond)
+		if err := mon.AddPath(fmt.Sprintf("path-%02d", i), p); err != nil {
+			panic(fmt.Sprintf("experiments: dynamics-at-scale: %v", err))
+		}
+	}
+	start := time.Now()
+	if err := mon.Start(); err != nil {
+		panic(fmt.Sprintf("experiments: dynamics-at-scale: %v", err))
+	}
+
+	series := make(map[string][]pathload.Sample, ScaleFleetPaths)
+	for s := range mon.Results() {
+		if s.Err != nil {
+			panic(fmt.Sprintf("experiments: dynamics-at-scale: %s round %d: %v", s.Path, s.Round, s.Err))
+		}
+		series[s.Path] = append(series[s.Path], s)
+	}
+	mon.Wait()
+	wall := time.Since(start)
+
+	res := ScaleResult{Rounds: rounds, Workers: workers, Wall: wall}
+	slack := pathload.DefaultResolution + pathload.DefaultGreyResolution
+	for i, n := range nets {
+		id := fmt.Sprintf("path-%02d", i)
+		samples := series[id]
+		sort.Slice(samples, func(a, b int) bool { return samples[a].Round < samples[b].Round })
+
+		ps := PathSeries{Path: id, True: n.Topo.AvailBw()}
+		for _, s := range samples {
+			ps.Points = append(ps.Points, ScalePoint{At: s.At, Lo: s.Result.Lo, Hi: s.Result.Hi})
+			if s.Result.Lo-slack <= ps.True && ps.True <= s.Result.Hi+slack {
+				ps.Covered++
+			}
+		}
+		monitors[i].Stop()
+		if rd := monitors[i].Readings(); len(rd) > 0 {
+			var sum float64
+			for _, r := range rd {
+				sum += r.Avail
+			}
+			ps.MRTG = sum / float64(len(rd))
+		}
+		res.Events += n.Sim.Events()
+		res.Paths = append(res.Paths, ps)
+	}
+	return res
+}

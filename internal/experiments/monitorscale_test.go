@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDynamicsAtScale runs the fleet experiment at test scale: the full
+// 64-path fleet, few rounds. Every path must report complete series and
+// the fleet-wide coverage must be high.
+func TestDynamicsAtScale(t *testing.T) {
+	res := DynamicsAtScale(smallOpt)
+	if len(res.Paths) != ScaleFleetPaths {
+		t.Fatalf("%d paths, want %d", len(res.Paths), ScaleFleetPaths)
+	}
+	for _, p := range res.Paths {
+		if len(p.Points) != res.Rounds {
+			t.Errorf("%s: %d points, want %d", p.Path, len(p.Points), res.Rounds)
+		}
+		if p.True <= 0 {
+			t.Errorf("%s: non-positive configured avail-bw", p.Path)
+		}
+		if p.MRTG <= 0 {
+			t.Errorf("%s: MRTG ground truth missing", p.Path)
+		}
+		for i := 1; i < len(p.Points); i++ {
+			if p.Points[i].At <= p.Points[i-1].At {
+				t.Errorf("%s: series time not increasing at round %d", p.Path, i)
+			}
+		}
+	}
+	if cov := res.Coverage(); cov < 0.9 {
+		t.Errorf("fleet coverage %.0f%%, want ≥ 90%%", cov*100)
+	}
+
+	out := RenderScale(res)
+	if !strings.Contains(out, "path-63") || !strings.Contains(out, "coverage") {
+		t.Errorf("render missing rows or summary:\n%s", out)
+	}
+}

@@ -92,6 +92,24 @@ func RenderDynamics(title string, cdfs []DynamicsCDF) string {
 	return b.String()
 }
 
+// RenderScale formats the dynamics-at-scale fleet: one row per path
+// with its configured avail-bw, MRTG reading, and per-round ranges.
+func RenderScale(r ScaleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dynamics at scale: %d paths × %d rounds, %d workers (%.2gM sim events, %.1fs wall)\n",
+		len(r.Paths), r.Rounds, r.Workers, float64(r.Events)/1e6, r.Wall.Seconds())
+	fmt.Fprintf(&b, "%-9s %8s %8s %4s  %s\n", "path", "true A", "MRTG", "cov", "ranges over time (Mb/s)")
+	for _, p := range r.Paths {
+		fmt.Fprintf(&b, "%-9s %8.2f %8.2f %d/%d ", p.Path, mbps(p.True), mbps(p.MRTG), p.Covered, len(p.Points))
+		for _, pt := range p.Points {
+			fmt.Fprintf(&b, " [%.1f,%.1f]", mbps(pt.Lo), mbps(pt.Hi))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "coverage (range brackets true A within ω+χ): %.0f%%\n", r.Coverage()*100)
+	return b.String()
+}
+
 // RenderBTC formats Figs. 15–16.
 func RenderBTC(r BTCResult) string {
 	var b strings.Builder

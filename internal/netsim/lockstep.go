@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// A Lockstep advances a set of independent Simulators to common barrier
+// times. Each simulator is a shard — its own links, traffic, and event
+// queue — but all shards share one virtual timeline: after AdvanceTo(t)
+// every shard's Now() equals t. Between barriers the shards are advanced
+// concurrently (one worker goroutine per shard, bounded by Parallel), so
+// a fleet of per-path simulations scales with the host's cores while
+// each individual simulator stays single-threaded and deterministic.
+//
+// This is the sharded answer to "many concurrent measurements on one
+// simulated clock": paths that must not interact get a shard each and a
+// shared timeline; paths that share links belong in one simulator (see
+// internal/simprobe.SharedSim for serializing multiple probers on it).
+//
+// A Lockstep must not be advanced while any shard is being driven from
+// elsewhere (e.g. by a prober mid-measurement).
+type Lockstep struct {
+	sims     []*Simulator
+	parallel int
+	now      Time
+}
+
+// NewLockstep groups sims into a lockstep set. parallel bounds the
+// number of shards advanced concurrently; 0 selects GOMAXPROCS. All
+// simulators must currently agree on the time (freshly created ones do:
+// they start at zero).
+func NewLockstep(parallel int, sims ...*Simulator) *Lockstep {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	l := &Lockstep{parallel: parallel}
+	for _, s := range sims {
+		l.Add(s)
+	}
+	return l
+}
+
+// Add attaches a shard. The simulator must not be ahead of the set's
+// common time; it is advanced to it on the next barrier.
+func (l *Lockstep) Add(s *Simulator) {
+	if s.Now() > l.now {
+		panic(fmt.Sprintf("netsim: lockstep at %v cannot adopt simulator already at %v", l.now, s.Now()))
+	}
+	l.sims = append(l.sims, s)
+}
+
+// Sims returns the shards in insertion order.
+func (l *Lockstep) Sims() []*Simulator { return l.sims }
+
+// Now returns the common barrier time reached by the last advance.
+func (l *Lockstep) Now() Time { return l.now }
+
+// AdvanceTo runs every shard to the absolute time t and blocks until
+// all have reached it. Shards run concurrently but never share state,
+// so the combined result is identical to advancing them one by one.
+func (l *Lockstep) AdvanceTo(t Time) {
+	if t < l.now {
+		panic(fmt.Sprintf("netsim: lockstep advancing backwards from %v to %v", l.now, t))
+	}
+	work := make(chan *Simulator)
+	var wg sync.WaitGroup
+	n := l.parallel
+	if n > len(l.sims) {
+		n = len(l.sims)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				s.Run(t)
+			}
+		}()
+	}
+	for _, s := range l.sims {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	l.now = t
+}
+
+// AdvanceFor advances every shard by d past the current barrier.
+func (l *Lockstep) AdvanceFor(d Time) { l.AdvanceTo(l.now + d) }

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// TestLockstepAdvances: every shard reaches the barrier, and events
+// fired concurrently match a serial reference run exactly.
+func TestLockstepAdvances(t *testing.T) {
+	const shards = 16
+
+	// Each shard schedules a self-rescheduling tick at its own period
+	// and counts firings — a miniature traffic source.
+	run := func(parallel int) []int {
+		counts := make([]int, shards)
+		sims := make([]*Simulator, shards)
+		for i := range sims {
+			i := i
+			sims[i] = NewSimulator()
+			period := Time(i+1) * Millisecond
+			var tick func()
+			tick = func() {
+				counts[i]++
+				sims[i].After(period, tick)
+			}
+			sims[i].After(period, tick)
+		}
+		ls := NewLockstep(parallel, sims...)
+		for step := 0; step < 10; step++ {
+			ls.AdvanceFor(100 * Millisecond)
+		}
+		if got := ls.Now(); got != Second {
+			t.Fatalf("lockstep Now = %v, want %v", got, Second)
+		}
+		for i, s := range sims {
+			if s.Now() != Second {
+				t.Fatalf("shard %d at %v, want %v", i, s.Now(), Second)
+			}
+		}
+		return counts
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("shard %d: serial %d ticks, parallel %d", i, serial[i], parallel[i])
+		}
+		want := int(Second / (Time(i+1) * Millisecond))
+		if serial[i] != want {
+			t.Errorf("shard %d: %d ticks, want %d", i, serial[i], want)
+		}
+	}
+}
+
+// TestLockstepAddBehind: a fresh shard added after advances catches up
+// at the next barrier.
+func TestLockstepAddBehind(t *testing.T) {
+	a := NewSimulator()
+	ls := NewLockstep(2, a)
+	ls.AdvanceFor(50 * Millisecond)
+
+	b := NewSimulator()
+	ls.Add(b)
+	ls.AdvanceFor(50 * Millisecond)
+	if a.Now() != b.Now() || a.Now() != 100*Millisecond {
+		t.Fatalf("shards at %v and %v, want both at %v", a.Now(), b.Now(), 100*Millisecond)
+	}
+}
+
+// TestLockstepPanics: adopting a shard from the future and rewinding
+// both panic — they would make the shared timeline ill-defined.
+func TestLockstepPanics(t *testing.T) {
+	ahead := NewSimulator()
+	ahead.RunFor(Second)
+	mustPanic(t, "adopting future shard", func() {
+		NewLockstep(1).Add(ahead)
+	})
+
+	ls := NewLockstep(1, NewSimulator())
+	ls.AdvanceTo(Second)
+	mustPanic(t, "advancing backwards", func() {
+		ls.AdvanceTo(Millisecond)
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

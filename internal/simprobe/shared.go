@@ -1,0 +1,51 @@
+package simprobe
+
+import (
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// A SharedSim lets several probers measure over one simulator — paths
+// that traverse common links, so their probe streams queue against each
+// other like any cross traffic. The netsim event loop is single-
+// threaded, so concurrent probers must not drive it directly; SharedSim
+// serializes them with a mutex held for the duration of each stream (or
+// idle), and hands out packet IDs from one counter so probe packets
+// stay distinguishable across probers.
+//
+// Virtual time is shared: while one prober holds the clock the others
+// wait, and their next stream starts at whatever time the loop has
+// reached. That is the intended semantics — interleaved measurements on
+// one timeline — but it means results depend on goroutine scheduling
+// and are NOT reproducible run-to-run. When determinism matters, give
+// each path its own simulator and align them with netsim.Lockstep.
+type SharedSim struct {
+	mu     sync.Mutex
+	sim    *netsim.Simulator
+	nextID uint64
+}
+
+// NewSharedSim wraps sim for use by multiple probers. The simulator
+// must from now on be driven only through probers created by NewProber
+// (or while holding Locked).
+func NewSharedSim(sim *netsim.Simulator) *SharedSim {
+	return &SharedSim{sim: sim}
+}
+
+// NewProber creates a prober on the shared simulator measuring over
+// route, like New but safe to use concurrently with its siblings.
+func (s *SharedSim) NewProber(route []*netsim.Link, reverseDelay netsim.Time) *Prober {
+	p := New(s.sim, route, reverseDelay)
+	p.shared = s
+	return p
+}
+
+// Locked runs fn with exclusive access to the underlying simulator, for
+// callers that need to attach traffic or advance time between
+// measurements.
+func (s *SharedSim) Locked(fn func(sim *netsim.Simulator)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.sim)
+}

@@ -35,7 +35,33 @@ type Prober struct {
 	// waits for stragglers before declaring the rest lost.
 	LossTimeout netsim.Time
 
+	// shared is set when the prober belongs to a SharedSim and must
+	// serialize against sibling probers; nil for a privately owned sim.
+	shared *SharedSim
+
 	nextPktID uint64
+}
+
+// lock acquires the shared-simulator mutex when the prober has
+// siblings, returning the matching unlock; a private prober pays
+// nothing.
+func (p *Prober) lock() func() {
+	if p.shared == nil {
+		return func() {}
+	}
+	p.shared.mu.Lock()
+	return p.shared.mu.Unlock
+}
+
+// pktID allocates the next probe packet ID, from the shared counter
+// when several probers inject into one simulator.
+func (p *Prober) pktID() uint64 {
+	if p.shared != nil {
+		p.shared.nextID++
+		return p.shared.nextID
+	}
+	p.nextPktID++
+	return p.nextPktID
 }
 
 // probeTag is the payload of simulated probe packets.
@@ -73,6 +99,7 @@ func (p *Prober) RTT() time.Duration {
 // Idle advances the simulation by d, letting cross traffic evolve and
 // queues drain between streams.
 func (p *Prober) Idle(d time.Duration) error {
+	defer p.lock()()
 	p.sim.RunFor(netsim.FromDuration(d))
 	return nil
 }
@@ -84,6 +111,7 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 	if spec.K <= 0 || spec.L <= 0 || spec.T <= 0 {
 		return pathload.StreamResult{}, fmt.Errorf("simprobe: invalid stream spec %+v", spec)
 	}
+	defer p.lock()()
 	period := netsim.FromDuration(spec.T)
 	start := p.sim.Now()
 
@@ -95,9 +123,8 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 
 	for i := 0; i < spec.K; i++ {
 		i := i
-		p.nextPktID++
 		pkt := &netsim.Packet{
-			ID:      p.nextPktID,
+			ID:      p.pktID(),
 			Size:    spec.L,
 			Payload: probeTag{stream: spec.Index, seq: i},
 		}

@@ -1,0 +1,291 @@
+package pathload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Monitor defaults.
+const (
+	// DefaultMonitorWorkers bounds how many paths measure at once.
+	DefaultMonitorWorkers = 4
+)
+
+// MonitorConfig tunes a Monitor. The zero value is usable: it measures
+// every path back-to-back (no re-measurement gap) with the paper's
+// measurement defaults until Stop is called.
+type MonitorConfig struct {
+	// Workers bounds the number of measurements in flight at once
+	// across all paths (the worker pool size). 0 selects
+	// DefaultMonitorWorkers.
+	Workers int
+	// Interval is the target idle gap between one path's consecutive
+	// measurements, spent in the prober's Idle (virtual time under the
+	// simulator, wall time on a real network). 0 re-measures
+	// immediately.
+	Interval time.Duration
+	// Jitter spreads each gap uniformly over
+	// [(1−Jitter)·Interval, (1+Jitter)·Interval], desynchronizing
+	// paths that would otherwise probe in phase. Must lie in [0, 1].
+	Jitter float64
+	// Rounds is the number of measurements per path; 0 runs until
+	// Stop.
+	Rounds int
+	// Buffer is the results channel capacity; 0 selects one slot per
+	// path, which lets every path finish a round without a consumer.
+	Buffer int
+	// Seed derives the per-path jitter streams; a fixed seed makes the
+	// schedule reproducible. 0 selects 1.
+	Seed int64
+	// Config is the measurement configuration applied to every round
+	// on every path.
+	Config Config
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c MonitorConfig) withDefaults(paths int) MonitorConfig {
+	if c.Workers == 0 {
+		c.Workers = DefaultMonitorWorkers
+	}
+	if c.Buffer == 0 {
+		c.Buffer = paths
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c MonitorConfig) validate() error {
+	if c.Workers < 0 || c.Rounds < 0 || c.Buffer < 0 || c.Interval < 0 {
+		return fmt.Errorf("pathload: monitor config has negative Workers/Rounds/Buffer/Interval")
+	}
+	if c.Jitter < 0 || c.Jitter > 1 {
+		return fmt.Errorf("pathload: monitor Jitter %v outside [0,1]", c.Jitter)
+	}
+	return nil
+}
+
+// A Sample is one timestamped point of a path's avail-bw time series.
+type Sample struct {
+	// Path is the identifier given to AddPath.
+	Path string
+	// Round counts the path's measurements from 0.
+	Round int
+	// At is the path-local time offset of the measurement start: the
+	// accumulated probing and idle durations since the session began.
+	// Under the simulator it is exact virtual time, so it is
+	// reproducible run-to-run; Wall is not.
+	At time.Duration
+	// Wall is the wall-clock completion time of the round.
+	Wall time.Time
+	// Result is the measurement outcome; valid when Err is nil.
+	Result Result
+	// Err is the measurement error, if the round failed. The session
+	// keeps running: transient failures on real networks should not
+	// kill a long-lived monitor.
+	Err error
+}
+
+// String formats the sample compactly, omitting the wall clock so the
+// output is deterministic under the simulator.
+func (s Sample) String() string {
+	if s.Err != nil {
+		return fmt.Sprintf("%s[%d] @%v error: %v", s.Path, s.Round, s.At, s.Err)
+	}
+	return fmt.Sprintf("%s[%d] @%v %v", s.Path, s.Round, s.At, s.Result)
+}
+
+// session is the per-path state of a monitor.
+type session struct {
+	id     string
+	prober Prober
+	rng    *rand.Rand // jitter stream, derived from Seed and id
+}
+
+// A Monitor measures many paths concurrently and periodically, turning
+// one-shot Run calls into streaming per-path avail-bw time series — the
+// paper's "dynamics" viewpoint operationalized (§VI): each path gets a
+// session that re-measures on a jittered interval, a bounded worker
+// pool caps how many paths probe simultaneously, and every finished
+// round is published on Results as a timestamped Sample.
+//
+// Each path's Prober is only ever driven from that path's session
+// goroutine, satisfying the Prober single-goroutine contract; paths
+// never share measurement state, so per-path results are independent
+// of worker scheduling. With deterministic probers (internal/simprobe
+// on per-path simulators) the whole run is reproducible.
+//
+// Lifecycle: NewMonitor, AddPath for every path, Start, consume
+// Results; then either Wait (Rounds > 0) or Stop. Results is closed
+// when every session has finished.
+type Monitor struct {
+	cfg      MonitorConfig
+	sessions []*session
+	byID     map[string]bool
+	results  chan Sample
+	sem      chan struct{} // worker pool slots
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+}
+
+// NewMonitor creates a monitor; add paths with AddPath, then Start.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg, byID: map[string]bool{}, stop: make(chan struct{})}, nil
+}
+
+// AddPath registers a path under a unique identifier. The monitor takes
+// over the prober: it must not be used elsewhere until the monitor is
+// done. Paths must be added before Start.
+func (m *Monitor) AddPath(id string, p Prober) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("pathload: AddPath(%q) after Start", id)
+	}
+	if p == nil {
+		return fmt.Errorf("pathload: AddPath(%q) with nil prober", id)
+	}
+	if m.byID[id] {
+		return fmt.Errorf("pathload: duplicate path %q", id)
+	}
+	m.byID[id] = true
+	m.sessions = append(m.sessions, &session{id: id, prober: p})
+	return nil
+}
+
+// Paths returns the registered path identifiers in AddPath order.
+func (m *Monitor) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, len(m.sessions))
+	for i, s := range m.sessions {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// Start launches one session per path and returns immediately. Results
+// must be consumed (or the Buffer sized generously) or sessions block.
+func (m *Monitor) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("pathload: monitor started twice")
+	}
+	if len(m.sessions) == 0 {
+		return fmt.Errorf("pathload: monitor has no paths")
+	}
+	m.started = true
+	m.cfg = m.cfg.withDefaults(len(m.sessions))
+	m.results = make(chan Sample, m.cfg.Buffer)
+	m.sem = make(chan struct{}, m.cfg.Workers)
+	for _, s := range m.sessions {
+		// Derive the jitter stream from the seed and the path name, not
+		// the registration order, so adding a path does not reshuffle
+		// the others' schedules.
+		h := fnv.New64a()
+		h.Write([]byte(s.id))
+		s.rng = rand.New(rand.NewSource(m.cfg.Seed ^ int64(h.Sum64())))
+		m.wg.Add(1)
+		go m.run(s)
+	}
+	go func() {
+		m.wg.Wait()
+		close(m.results)
+	}()
+	return nil
+}
+
+// Results delivers one Sample per finished round, in completion order.
+// The channel is closed when every session has finished (all rounds
+// done, or Stop). It is nil before Start.
+func (m *Monitor) Results() <-chan Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.results
+}
+
+// Stop asks every session to finish at its next boundary: a session
+// mid-measurement completes the round and still delivers its sample
+// (as long as the results buffer has room). It is idempotent and safe
+// to call concurrently with consumption.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+// Wait blocks until every session has finished. With Rounds == 0 that
+// only happens after Stop.
+func (m *Monitor) Wait() { m.wg.Wait() }
+
+// gap returns the next jittered re-measurement gap for s.
+func (m *Monitor) gap(s *session) time.Duration {
+	if m.cfg.Interval <= 0 {
+		return 0
+	}
+	if m.cfg.Jitter == 0 {
+		return m.cfg.Interval
+	}
+	f := 1 + m.cfg.Jitter*(2*s.rng.Float64()-1)
+	return time.Duration(f * float64(m.cfg.Interval))
+}
+
+// run is one path's session loop: acquire a worker slot, measure,
+// publish, idle, repeat.
+func (m *Monitor) run(s *session) {
+	defer m.wg.Done()
+	var at time.Duration
+	for round := 0; m.cfg.Rounds == 0 || round < m.cfg.Rounds; round++ {
+		select {
+		case m.sem <- struct{}{}:
+		case <-m.stop:
+			return
+		}
+		res, err := Run(s.prober, m.cfg.Config)
+		<-m.sem
+
+		sample := Sample{Path: s.id, Round: round, At: at, Wall: time.Now(), Result: res, Err: err}
+		at += res.Elapsed
+		// A finished round is delivered even when Stop has been called:
+		// prefer the buffer slot, and fall back to racing stop only when
+		// the channel is full (the consumer may be gone).
+		select {
+		case m.results <- sample:
+		default:
+			select {
+			case m.results <- sample:
+			case <-m.stop:
+				return
+			}
+		}
+
+		if m.cfg.Rounds != 0 && round == m.cfg.Rounds-1 {
+			return
+		}
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		if gap := m.gap(s); gap > 0 {
+			if err := s.prober.Idle(gap); err != nil {
+				select {
+				case m.results <- Sample{Path: s.id, Round: round + 1, At: at, Wall: time.Now(), Err: fmt.Errorf("pathload: idle: %w", err)}:
+				case <-m.stop:
+				}
+				return
+			}
+			at += gap
+		}
+	}
+}

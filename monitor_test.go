@@ -1,0 +1,272 @@
+package pathload_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	pathload "repro"
+)
+
+// fakePath is an analytic prober: streams above its avail-bw ramp
+// linearly, streams below arrive flat. It lets monitor logic be tested
+// without a simulator.
+type fakePath struct {
+	avail float64
+
+	// Concurrency accounting shared across a monitor's fakes.
+	inflight, maxSeen *int32
+	delay             time.Duration // per-stream wall delay, to force overlap
+
+	streams int
+	idled   time.Duration
+	fail    error // returned by every SendStream when set
+}
+
+func (f *fakePath) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
+	if f.inflight != nil {
+		cur := atomic.AddInt32(f.inflight, 1)
+		defer atomic.AddInt32(f.inflight, -1)
+		for {
+			max := atomic.LoadInt32(f.maxSeen)
+			if cur <= max || atomic.CompareAndSwapInt32(f.maxSeen, max, cur) {
+				break
+			}
+		}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.fail != nil {
+		return pathload.StreamResult{}, f.fail
+	}
+	f.streams++
+	res := pathload.StreamResult{Sent: spec.K}
+	for i := 0; i < spec.K; i++ {
+		owd := 5 * time.Millisecond
+		if spec.EffectiveRate() > f.avail {
+			owd += time.Duration(i) * 100 * time.Microsecond
+		}
+		res.OWDs = append(res.OWDs, pathload.OWDSample{Seq: i, OWD: owd})
+	}
+	return res, nil
+}
+
+func (f *fakePath) Idle(d time.Duration) error { f.idled += d; return nil }
+func (f *fakePath) RTT() time.Duration         { return time.Millisecond }
+
+// fastCfg keeps fake-prober measurements tiny.
+func fastCfg() pathload.Config {
+	return pathload.Config{
+		PacketsPerStream: 8,
+		StreamsPerFleet:  3,
+		DisableInitProbe: true,
+	}
+}
+
+// TestMonitorConvergesPerPath: every path's reported range must bracket
+// its own avail-bw, every round, and rounds must advance the per-path
+// clock.
+func TestMonitorConvergesPerPath(t *testing.T) {
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  3,
+		Rounds:   2,
+		Interval: 10 * time.Millisecond,
+		Jitter:   0.5,
+		Seed:     7,
+		Config:   fastCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avails := map[string]float64{}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("path-%02d", i)
+		avails[id] = float64(i+1) * 7e6
+		if err := m.AddPath(id, &fakePath{avail: avails[id]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Paths()); got != 10 {
+		t.Fatalf("Paths() has %d entries, want 10", got)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	byPath := map[string][]pathload.Sample{}
+	for s := range m.Results() {
+		if s.Err != nil {
+			t.Fatalf("sample error: %v", s.Err)
+		}
+		byPath[s.Path] = append(byPath[s.Path], s)
+	}
+	m.Wait()
+
+	for id, a := range avails {
+		samples := byPath[id]
+		if len(samples) != 2 {
+			t.Fatalf("%s: %d samples, want 2", id, len(samples))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Round < samples[j].Round })
+		for _, s := range samples {
+			if s.Result.Lo-pathload.DefaultResolution > a || s.Result.Hi+pathload.DefaultResolution < a {
+				t.Errorf("%s round %d: range [%.1f, %.1f] Mb/s misses avail %.1f",
+					id, s.Round, s.Result.Lo/1e6, s.Result.Hi/1e6, a/1e6)
+			}
+		}
+		if samples[0].At != 0 {
+			t.Errorf("%s: first round At = %v, want 0", id, samples[0].At)
+		}
+		if samples[1].At <= samples[0].At {
+			t.Errorf("%s: At did not advance: %v then %v", id, samples[0].At, samples[1].At)
+		}
+	}
+}
+
+// TestMonitorWorkerPoolBound: with W workers, no more than W streams
+// are ever in flight at once, however many paths are registered.
+func TestMonitorWorkerPoolBound(t *testing.T) {
+	var inflight, maxSeen int32
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers: 2,
+		Rounds:  1,
+		Config:  fastCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		f := &fakePath{avail: 20e6, inflight: &inflight, maxSeen: &maxSeen, delay: 200 * time.Microsecond}
+		if err := m.AddPath(fmt.Sprintf("p%d", i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range m.Results() {
+		n++
+	}
+	if n != 16 {
+		t.Fatalf("%d samples, want 16", n)
+	}
+	if got := atomic.LoadInt32(&maxSeen); got > 2 {
+		t.Fatalf("worker pool leaked: %d concurrent streams, want ≤ 2", got)
+	}
+}
+
+// TestMonitorLifecycleErrors pins the misuse diagnostics.
+func TestMonitorLifecycleErrors(t *testing.T) {
+	if _, err := pathload.NewMonitor(pathload.MonitorConfig{Jitter: 1.5}); err == nil {
+		t.Error("Jitter 1.5 accepted")
+	}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{Rounds: 1, Config: fastCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Error("Start with no paths accepted")
+	}
+	if err := m.AddPath("a", nil); err == nil {
+		t.Error("nil prober accepted")
+	}
+	if err := m.AddPath("a", &fakePath{avail: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("a", &fakePath{avail: 1e6}); err == nil {
+		t.Error("duplicate path accepted")
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("b", &fakePath{avail: 1e6}); err == nil {
+		t.Error("AddPath after Start accepted")
+	}
+	if err := m.Start(); err == nil {
+		t.Error("second Start accepted")
+	}
+	for range m.Results() {
+	}
+	m.Wait()
+}
+
+// TestMonitorStop: an open-ended monitor (Rounds = 0) runs until Stop,
+// then closes its results channel.
+func TestMonitorStop(t *testing.T) {
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{Workers: 4, Config: fastCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.AddPath(fmt.Sprintf("p%d", i), &fakePath{avail: 30e6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for s := range m.Results() {
+		if s.Err != nil {
+			t.Fatal(s.Err)
+		}
+		seen++
+		if seen == 10 {
+			m.Stop()
+			m.Stop() // idempotent
+		}
+	}
+	m.Wait()
+	if seen < 10 {
+		t.Fatalf("saw only %d samples before close", seen)
+	}
+}
+
+// TestMonitorSurvivesMeasurementErrors: a failing path reports error
+// samples round after round without killing its session or the others.
+func TestMonitorSurvivesMeasurementErrors(t *testing.T) {
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{Rounds: 2, Config: fastCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("transport down")
+	if err := m.AddPath("bad", &fakePath{fail: boom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("good", &fakePath{avail: 10e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var badErrs, goodOK int
+	for s := range m.Results() {
+		switch s.Path {
+		case "bad":
+			if s.Err == nil {
+				t.Error("failing path produced a clean sample")
+			} else if !errors.Is(s.Err, boom) {
+				t.Errorf("error lost its cause: %v", s.Err)
+			}
+			badErrs++
+		case "good":
+			if s.Err != nil {
+				t.Errorf("healthy path failed: %v", s.Err)
+			}
+			goodOK++
+		}
+		if !strings.Contains(s.String(), s.Path) {
+			t.Errorf("Sample.String() %q omits the path", s.String())
+		}
+	}
+	m.Wait()
+	if badErrs != 2 || goodOK != 2 {
+		t.Fatalf("bad=%d good=%d samples, want 2 and 2", badErrs, goodOK)
+	}
+}
