@@ -15,13 +15,24 @@
 // per round:
 //
 //	pathload -monitor -paths 64 -rounds 3 -interval 100ms -workers 8
+//
+// With -export the fleet's time series are retained in a store and
+// served over HTTP — Prometheus exposition on /metrics, JSON series on
+// /series, paper-style MRTG buckets on /mrtg — and the process keeps
+// serving after the fleet finishes, until interrupted:
+//
+//	pathload -monitor -paths 16 -rounds 5 -export :9090 &
+//	curl -s localhost:9090/metrics | grep availbw_window
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -29,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/simprobe"
+	"repro/internal/tsstore"
 
 	pathload "repro"
 )
@@ -54,6 +66,7 @@ func main() {
 		interval = flag.Duration("interval", 100*time.Millisecond, "monitor: re-measurement gap per path")
 		jitter   = flag.Float64("jitter", 0.3, "monitor: gap randomization fraction in [0,1]")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "monitor: max concurrent measurements")
+		export   = flag.String("export", "", "monitor: HTTP listen address for the time-series store (e.g. :9090); keeps serving after the fleet finishes, until interrupted")
 	)
 	flag.Parse()
 
@@ -77,7 +90,7 @@ func main() {
 		}
 		runMonitor(monitorOpts{
 			paths: *paths, rounds: *rounds, workers: *workers,
-			interval: *interval, jitter: *jitter,
+			interval: *interval, jitter: *jitter, export: *export,
 			capMbps: *capMbps, util: *util, model: m, sources: *sources, seed: *seed,
 			measure: pathload.Config{
 				PacketsPerStream: *k,
@@ -143,6 +156,7 @@ type monitorOpts struct {
 	paths, rounds, workers int
 	interval               time.Duration
 	jitter                 float64
+	export                 string
 	capMbps, util          float64
 	model                  crosstraffic.Model
 	sources                int
@@ -152,8 +166,26 @@ type monitorOpts struct {
 
 // runMonitor builds a fleet of single-hop paths whose utilizations
 // sweep around the -util flag, warms every shard in parallel, and
-// streams the monitor's samples as they complete.
+// streams the monitor's samples as they complete. Every sample also
+// lands in a tsstore.Store; with -export the store is served over HTTP
+// and the process stays up for scraping after the fleet finishes.
 func runMonitor(o monitorOpts) {
+	store := tsstore.New(tsstore.Config{})
+	var exportURL string
+	if o.export != "" {
+		ln, err := net.Listen("tcp", o.export)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathload: -export: %v\n", err)
+			os.Exit(1)
+		}
+		exportURL = fmt.Sprintf("http://%s/", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, store.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "pathload: export: %v\n", err)
+			}
+		}()
+		fmt.Printf("exporting store on %s (endpoints: /metrics /series /mrtg)\n", exportURL)
+	}
 	nets := make([]*experiments.Net, o.paths)
 	sims := make([]*netsim.Simulator, o.paths)
 	avail := map[string]float64{}
@@ -182,6 +214,7 @@ func runMonitor(o monitorOpts) {
 		Jitter:   o.jitter,
 		Seed:     o.seed,
 		Config:   o.measure,
+		Store:    store,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
@@ -223,6 +256,27 @@ func runMonitor(o monitorOpts) {
 	mon.Wait()
 	fmt.Printf("fleet: %d paths × %d rounds in %v wall; %d/%d ranges bracket the true avail-bw\n",
 		o.paths, o.rounds, time.Since(start).Round(time.Millisecond), hit, total)
+
+	// Per-path retained-window aggregates, read back from the store.
+	fmt.Printf("\nstored series (retained window):\n")
+	fmt.Printf("%-9s %6s %28s %10s %8s %8s\n", "path", "points", "window [minLo,maxHi] (Mb/s)", "mean mid", "p50", "ρ(win)")
+	for _, id := range store.Paths() {
+		agg := store.Retained(id)
+		if agg.Digest == nil {
+			fmt.Printf("%-9s %6d %28s\n", id, agg.Count, "all rounds failed")
+			continue
+		}
+		fmt.Printf("%-9s %6d %15s[%6.2f,%6.2f] %10.2f %8.2f %8.2f\n",
+			id, agg.Count, "", agg.MinLo/1e6, agg.MaxHi/1e6,
+			agg.MeanMid/1e6, agg.Quantile(0.5)/1e6, agg.RelVar)
+	}
+
+	if o.export != "" {
+		fmt.Printf("\nfleet done; still serving %s — curl /metrics, Ctrl-C to exit\n", exportURL)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 }
 
 // pathID names fleet path i.

@@ -3,6 +3,9 @@
 // different loads, registers each with a pathload.Monitor, and watches
 // three rounds of per-path ranges arrive on the results channel —
 // the paper's "dynamics" viewpoint (§VI) as a long-running service.
+// A tsstore.Store rides along as the monitor's Store sink, retaining
+// every sample, and the example ends by reading the windowed
+// aggregates (min/max/mean, ρ, median) back out of the store.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/simprobe"
+	"repro/internal/tsstore"
 
 	pathload "repro"
 )
@@ -36,12 +40,14 @@ func main() {
 	// virtual clock.
 	netsim.NewLockstep(0, sims...).AdvanceTo(3 * netsim.Second)
 
+	store := tsstore.New(tsstore.Config{}) // per-path rings + digests
 	mon, err := pathload.NewMonitor(pathload.MonitorConfig{
 		Workers:  4,                      // at most 4 paths probing at once
 		Rounds:   3,                      // 3 measurements per path
 		Interval: 100 * time.Millisecond, // virtual idle gap between rounds
 		Jitter:   0.3,                    // desynchronize the fleet
 		Seed:     7,
+		Store:    store, // retain every sample alongside the channel
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,4 +75,17 @@ func main() {
 			s.Path, s.Round, s.At.Round(time.Millisecond), nets[i].Topo.AvailBw()/1e6, s.Result)
 	}
 	mon.Wait()
+
+	// The channel is gone, the history is not: read each path's series
+	// back from the store as a windowed aggregate — the §VI summary
+	// (observed variation range, mean estimate, median, windowed ρ).
+	// store.Handler() would serve the same data over HTTP; see
+	// `pathload -monitor -export`.
+	fmt.Printf("\nretained series:\n")
+	for _, id := range store.Paths() {
+		agg := store.Retained(id)
+		fmt.Printf("%-7s %d pts  range [%5.2f, %5.2f]  mean %5.2f  p50 %5.2f Mb/s  ρ %.2f\n",
+			id, agg.Count, agg.MinLo/1e6, agg.MaxHi/1e6,
+			agg.MeanMid/1e6, agg.Quantile(0.5)/1e6, agg.RelVar)
+	}
 }

@@ -110,6 +110,41 @@ func RenderScale(r ScaleResult) string {
 	return b.String()
 }
 
+// RenderTrajectory formats the avail-bw trajectory experiment: one row
+// per path with the configured avail-bw and the stored series' window
+// aggregates on either side of the mid-run cross-traffic step.
+func RenderTrajectory(r TrajectoryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Avail-bw trajectories: %d paths × %d rounds, cross-traffic step before round %d (tsstore windows)\n",
+		len(r.Paths), r.Rounds, r.StepRound)
+	fmt.Fprintf(&b, "%-9s %-5s %8s %8s %22s %22s  %s\n",
+		"path", "step", "A pre", "A post", "pre [minLo,maxHi] mean", "post [minLo,maxHi] mean", "tracked")
+	for _, p := range r.Paths {
+		dir := "load-" // cross traffic removed: avail-bw steps up
+		if p.StepUp {
+			dir = "load+" // cross traffic added: avail-bw steps down
+		}
+		fmt.Fprintf(&b, "%-9s %-5s %8.2f %8.2f  [%5.2f,%5.2f] %6.2f   [%5.2f,%5.2f] %6.2f   %v\n",
+			p.Path, dir, mbps(p.TrueBefore), mbps(p.TrueAfter),
+			mbps(p.Before.MinLo), mbps(p.Before.MaxHi), mbps(p.Before.MeanMid),
+			mbps(p.After.MinLo), mbps(p.After.MaxHi), mbps(p.After.MeanMid),
+			p.Tracked())
+	}
+	fmt.Fprintf(&b, "series (Mb/s):\n")
+	for _, p := range r.Paths {
+		fmt.Fprintf(&b, "%-9s", p.Path)
+		for i, pt := range p.Points {
+			if i == r.StepRound {
+				fmt.Fprintf(&b, " |step|")
+			}
+			fmt.Fprintf(&b, " [%.1f,%.1f]", mbps(pt.Lo), mbps(pt.Hi))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "tracked (level both sides ∧ move ≥ ½ true step): %d/%d paths\n", r.TrackedPaths(), len(r.Paths))
+	return b.String()
+}
+
 // RenderBTC formats Figs. 15–16.
 func RenderBTC(r BTCResult) string {
 	var b strings.Builder

@@ -1,0 +1,161 @@
+package tsstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultDigestSize is the default centroid budget of a Digest. Sixty-
+// four centroids summarize the avail-bw distributions of §VI (which are
+// smooth and unimodal at fixed load) to well under a percent of range
+// while keeping a per-path series' memory footprint constant.
+const DefaultDigestSize = 64
+
+// A centroid is one compressed cluster of samples: their mean value and
+// how many samples it stands for.
+type centroid struct {
+	mean   float64
+	weight uint64
+}
+
+// A Digest is a small fixed-size quantile summary of a stream of
+// values, in the spirit of a t-digest but with a deterministic
+// compression rule: when the centroid budget is exceeded, the two
+// adjacent centroids with the smallest mean gap merge (ties break
+// toward the lower index). Determinism matters here because the
+// monitor's stored series — and therefore the scrape output built from
+// them — are pinned byte-for-byte by tests and by the reproducibility
+// contract of the simulator (README "deterministic fleet" invariant).
+//
+// A Digest is not safe for concurrent use; the Store serializes access
+// to the digests it owns.
+type Digest struct {
+	size int
+	cs   []centroid // sorted by mean, ascending
+	n    uint64
+}
+
+// NewDigest creates a digest that retains at most size centroids;
+// size <= 0 selects DefaultDigestSize.
+func NewDigest(size int) *Digest {
+	if size <= 0 {
+		size = DefaultDigestSize
+	}
+	return &Digest{size: size}
+}
+
+// Count returns the number of values added so far.
+func (d *Digest) Count() uint64 { return d.n }
+
+// Add records one value.
+func (d *Digest) Add(x float64) { d.AddWeighted(x, 1) }
+
+// AddWeighted records a value that stands for w samples. w == 0 is a
+// no-op; NaN values panic (a NaN avail-bw is a caller bug and would
+// poison every later quantile).
+func (d *Digest) AddWeighted(x float64, w uint64) {
+	if w == 0 {
+		return
+	}
+	if math.IsNaN(x) {
+		panic("tsstore: NaN added to digest")
+	}
+	i := sort.Search(len(d.cs), func(i int) bool { return d.cs[i].mean >= x })
+	if i < len(d.cs) && d.cs[i].mean == x {
+		// Exact hit: fold into the existing centroid, no compression
+		// needed and no precision lost.
+		d.cs[i].weight += w
+		d.n += w
+		return
+	}
+	d.cs = append(d.cs, centroid{})
+	copy(d.cs[i+1:], d.cs[i:])
+	d.cs[i] = centroid{mean: x, weight: w}
+	d.n += w
+	d.compress()
+}
+
+// Merge folds o's centroids into d. o may be nil or empty; merging a
+// digest into itself is allowed and doubles every weight. The
+// receiver's centroid budget wins when the two differ.
+func (d *Digest) Merge(o *Digest) {
+	if o == nil || len(o.cs) == 0 {
+		return
+	}
+	// Snapshot first: o may alias d (self-merge), and AddWeighted
+	// mutates d.cs while we iterate.
+	cs := append([]centroid(nil), o.cs...)
+	for _, c := range cs {
+		d.AddWeighted(c.mean, c.weight)
+	}
+}
+
+// compress merges adjacent centroids until the budget holds. The pair
+// with the smallest mean gap merges first, so resolution is lost where
+// the distribution is densest and the tails stay sharp the longest.
+func (d *Digest) compress() {
+	for len(d.cs) > d.size {
+		best, bestGap := 0, math.Inf(1)
+		for i := 0; i+1 < len(d.cs); i++ {
+			if gap := d.cs[i+1].mean - d.cs[i].mean; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		a, b := d.cs[best], d.cs[best+1]
+		w := a.weight + b.weight
+		d.cs[best] = centroid{
+			mean:   (a.mean*float64(a.weight) + b.mean*float64(b.weight)) / float64(w),
+			weight: w,
+		}
+		d.cs = append(d.cs[:best+1], d.cs[best+2:]...)
+	}
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]) by
+// linear interpolation between centroid midpoints. It returns NaN for
+// an empty digest and panics on q outside [0, 1]. While the digest has
+// not yet compressed (Count() distinct values <= size) the estimates
+// are exact order statistics under midpoint interpolation.
+func (d *Digest) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("tsstore: quantile %v out of range [0,1]", q))
+	}
+	if d.n == 0 {
+		return math.NaN()
+	}
+	target := q * float64(d.n)
+	var cum float64
+	prevMid, prevMean := math.Inf(-1), 0.0
+	for i, c := range d.cs {
+		mid := cum + float64(c.weight)/2
+		if target <= mid {
+			if i == 0 || prevMid == math.Inf(-1) {
+				return c.mean
+			}
+			frac := (target - prevMid) / (mid - prevMid)
+			return prevMean + frac*(c.mean-prevMean)
+		}
+		cum += float64(c.weight)
+		prevMid, prevMean = mid, c.mean
+	}
+	return d.cs[len(d.cs)-1].mean
+}
+
+// Min and Max return the extreme centroid means — after compression
+// these are the means of the outermost clusters, which bound the true
+// extremes from inside. They return NaN for an empty digest.
+func (d *Digest) Min() float64 {
+	if len(d.cs) == 0 {
+		return math.NaN()
+	}
+	return d.cs[0].mean
+}
+
+// Max is the upper counterpart of Min.
+func (d *Digest) Max() float64 {
+	if len(d.cs) == 0 {
+		return math.NaN()
+	}
+	return d.cs[len(d.cs)-1].mean
+}

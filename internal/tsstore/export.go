@@ -1,0 +1,288 @@
+package tsstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/mrtg"
+)
+
+// ExportQuantiles are the quantiles the scrape surface publishes per
+// path, chosen to read like the paper's variability analysis: median
+// for the central tendency, the inter-quartile spread, and the 5/95
+// tails that bound the avail-bw process.
+var ExportQuantiles = []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+
+// MRTGStep is the default exposition bucket for the MRTG-style
+// rendering: the paper reads its verification graphs in 6 Mb/s buckets
+// (§V-B, "MRTG readings are given as 6-Mb/s ranges").
+const MRTGStep = 6e6
+
+// WritePrometheus renders the whole store in the Prometheus text
+// exposition format (version 0.0.4): one family per aggregate, one
+// labelled series per path, paths sorted so the output is
+// deterministic. Wall-clock fields are deliberately absent — under the
+// simulator two identical runs scrape byte-identically.
+func (st *Store) WritePrometheus(w io.Writer) error {
+	paths := st.Paths()
+	type pathRow struct {
+		id       string
+		total    uint64
+		errs     uint64
+		retained int
+		agg      Aggregate
+		last     Point
+		hasLast  bool
+		digest   Digest
+	}
+	rows := make([]pathRow, 0, len(paths))
+	for _, id := range paths {
+		// One locked read per path keeps every gauge in the row from
+		// the same epoch even while a monitor is feeding the store.
+		v, ok := st.view(id)
+		if !ok {
+			continue
+		}
+		r := pathRow{id: id, total: v.total, errs: v.errs, retained: len(v.pts),
+			agg: st.aggregate(v.pts), digest: v.digest}
+		for i := len(v.pts) - 1; i >= 0; i-- {
+			if v.pts[i].OK() {
+				r.last, r.hasLast = v.pts[i], true
+				break
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	family := func(name, help, typ string, value func(pathRow) (float64, bool)) {
+		emit("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, r := range rows {
+			if v, ok := value(r); ok {
+				emit("%s{path=%q} %s\n", name, r.id, formatFloat(v))
+			}
+		}
+	}
+
+	family("pathload_availbw_samples_total", "Monitor rounds ever observed per path (retained and evicted).", "counter",
+		func(r pathRow) (float64, bool) { return float64(r.total), true })
+	family("pathload_availbw_errors_total", "Failed monitor rounds ever observed per path.", "counter",
+		func(r pathRow) (float64, bool) { return float64(r.errs), true })
+	family("pathload_availbw_retained_points", "Points currently held in the path's ring buffer.", "gauge",
+		func(r pathRow) (float64, bool) { return float64(r.retained), true })
+	family("pathload_availbw_lo_bps", "Latest measured avail-bw range lower bound Rmin, bits/s.", "gauge",
+		func(r pathRow) (float64, bool) { return r.last.Lo, r.hasLast })
+	family("pathload_availbw_hi_bps", "Latest measured avail-bw range upper bound Rmax, bits/s.", "gauge",
+		func(r pathRow) (float64, bool) { return r.last.Hi, r.hasLast })
+	family("pathload_availbw_mid_bps", "Latest mid-range avail-bw estimate, bits/s.", "gauge",
+		func(r pathRow) (float64, bool) { return r.last.Mid(), r.hasLast })
+	family("pathload_availbw_relvar", "Latest relative variation rho = (Rmax-Rmin)/mid (Eq. 12).", "gauge",
+		func(r pathRow) (float64, bool) { return r.last.RelVar(), r.hasLast })
+	family("pathload_availbw_window_min_bps", "Minimum Rmin across the retained window, bits/s.", "gauge",
+		func(r pathRow) (float64, bool) { return r.agg.MinLo, r.agg.Digest != nil })
+	family("pathload_availbw_window_max_bps", "Maximum Rmax across the retained window, bits/s.", "gauge",
+		func(r pathRow) (float64, bool) { return r.agg.MaxHi, r.agg.Digest != nil })
+	family("pathload_availbw_window_mean_bps", "Mean mid-range estimate across the retained window, bits/s.", "gauge",
+		func(r pathRow) (float64, bool) { return r.agg.MeanMid, r.agg.Digest != nil })
+	family("pathload_availbw_window_relvar", "Windowed relative variation of the retained series (long-timescale rho).", "gauge",
+		func(r pathRow) (float64, bool) { return r.agg.RelVar, r.agg.Digest != nil })
+
+	// Quantile family last, summary-style: one series per path and
+	// quantile from the all-time digest.
+	name := "pathload_availbw_quantile_bps"
+	emit("# HELP %s Quantiles of the path's mid-range estimates over all time (digest).\n# TYPE %s gauge\n", name, name)
+	for _, r := range rows {
+		for _, q := range ExportQuantiles {
+			if v := r.digest.Quantile(q); !math.IsNaN(v) {
+				emit("%s{path=%q,quantile=%q} %s\n", name, r.id, trimFloat(q), formatFloat(v))
+			}
+		}
+	}
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus clients expect.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// trimFloat renders a quantile label without trailing zeros.
+func trimFloat(q float64) string { return strconv.FormatFloat(q, 'g', -1, 64) }
+
+// WriteMRTG renders one path's retained series in the shape of the
+// paper's MRTG verification tables (§V-B): one row per point, the
+// mid-range estimate quantized to step-sized buckets exactly like
+// reading a number off an MRTG graph. step is in bits/s; step <= 0
+// selects the paper's 6 Mb/s. Unknown paths render an empty table.
+func (st *Store) WriteMRTG(w io.Writer, path string, step float64) error {
+	if step <= 0 {
+		step = MRTGStep
+	}
+	pts := st.Snapshot(path)
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	emit("# %s: %d points, %.0f Mb/s buckets\n", path, len(pts), step/1e6)
+	emit("%-6s %12s %18s %16s\n", "round", "at", "range (Mb/s)", "bucket (Mb/s)")
+	for _, p := range pts {
+		if !p.OK() {
+			emit("%-6d %12v %18s %16s\n", p.Round, p.At, "error", "-")
+			continue
+		}
+		lo, hi := mrtg.Quantize(p.Mid(), step)
+		emit("%-6d %12v [%7.2f,%7.2f] [%6.0f,%6.0f)\n", p.Round, p.At, p.Lo/1e6, p.Hi/1e6, lo/1e6, hi/1e6)
+	}
+	return err
+}
+
+// seriesJSON is the /series response shape.
+type seriesJSON struct {
+	Path      string   `json:"path"`
+	Samples   uint64   `json:"samples_total"`
+	Errors    uint64   `json:"errors_total"`
+	Aggregate aggJSON  `json:"aggregate"`
+	Quantiles []qtJSON `json:"quantiles,omitempty"`
+	Points    []ptJSON `json:"points"`
+}
+
+type aggJSON struct {
+	Count      int     `json:"count"`
+	Errors     int     `json:"errors"`
+	MinLo      float64 `json:"min_lo_bps"`
+	MaxHi      float64 `json:"max_hi_bps"`
+	MeanMid    float64 `json:"mean_mid_bps"`
+	MeanRelVar float64 `json:"mean_relvar"`
+	RelVar     float64 `json:"window_relvar"`
+}
+
+type qtJSON struct {
+	Q float64 `json:"q"`
+	V float64 `json:"mid_bps"`
+}
+
+// ptJSON always carries lo/hi — a saturated path can legitimately
+// report Lo == 0, so field absence must not double as an error marker;
+// the error field alone distinguishes failed rounds.
+type ptJSON struct {
+	Round  int     `json:"round"`
+	AtMs   float64 `json:"at_ms"`
+	SpanMs float64 `json:"span_ms"`
+	Lo     float64 `json:"lo_bps"`
+	Hi     float64 `json:"hi_bps"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// Handler serves the store over HTTP:
+//
+//	/          index: known paths and endpoints
+//	/metrics   Prometheus text exposition (WritePrometheus)
+//	/series    per-path JSON series; ?path= selects one, default all
+//	/mrtg      paper-style MRTG bucket table; ?path= required, ?step= Mb/s
+//
+// The handler only reads the store, so it is safe to scrape while a
+// monitor is feeding it.
+func (st *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "pathload time-series store: %d paths\n\n", len(st.Paths()))
+		fmt.Fprintf(w, "endpoints:\n  /metrics          Prometheus exposition\n  /series[?path=p]  JSON series\n  /mrtg?path=p      MRTG-style buckets (&step= Mb/s)\n\npaths:\n")
+		for _, id := range st.Paths() {
+			total, errs := st.Totals(id)
+			fmt.Fprintf(w, "  %-12s %d samples (%d errors), %d retained\n", id, total, errs, st.Len(id))
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		st.WritePrometheus(w)
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		paths := st.Paths()
+		if p := r.URL.Query().Get("path"); p != "" {
+			if st.Len(p) == 0 {
+				http.Error(w, fmt.Sprintf("unknown path %q", p), http.StatusNotFound)
+				return
+			}
+			paths = []string{p}
+		}
+		out := make([]seriesJSON, 0, len(paths))
+		for _, id := range paths {
+			out = append(out, st.seriesJSON(id))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/mrtg", func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("path")
+		if p == "" {
+			http.Error(w, "missing ?path=", http.StatusBadRequest)
+			return
+		}
+		if st.Len(p) == 0 {
+			http.Error(w, fmt.Sprintf("unknown path %q", p), http.StatusNotFound)
+			return
+		}
+		step := 0.0
+		if s := r.URL.Query().Get("step"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("bad ?step=%q (want Mb/s > 0)", s), http.StatusBadRequest)
+				return
+			}
+			step = v * 1e6
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		st.WriteMRTG(w, p, step)
+	})
+	return mux
+}
+
+// seriesJSON builds the JSON view of one path from a single consistent
+// store read.
+func (st *Store) seriesJSON(id string) seriesJSON {
+	v, ok := st.view(id)
+	if !ok {
+		return seriesJSON{Path: id}
+	}
+	agg := st.aggregate(v.pts)
+	s := seriesJSON{Path: id, Samples: v.total, Errors: v.errs}
+	s.Aggregate = aggJSON{
+		Count: agg.Count, Errors: agg.Errors,
+		MinLo: agg.MinLo, MaxHi: agg.MaxHi, MeanMid: agg.MeanMid,
+		MeanRelVar: agg.MeanRelVar, RelVar: agg.RelVar,
+	}
+	qs := append([]float64(nil), ExportQuantiles...)
+	sort.Float64s(qs)
+	for _, q := range qs {
+		if val := v.digest.Quantile(q); !math.IsNaN(val) {
+			s.Quantiles = append(s.Quantiles, qtJSON{Q: q, V: val})
+		}
+	}
+	for _, p := range v.pts {
+		s.Points = append(s.Points, ptJSON{
+			Round:  p.Round,
+			AtMs:   float64(p.At) / float64(time.Millisecond),
+			SpanMs: float64(p.Span) / float64(time.Millisecond),
+			Lo:     p.Lo, Hi: p.Hi, Err: p.Err,
+		})
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package tsstore_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tsstore"
+
+	pathload "repro"
+)
+
+// exportStore builds a small two-path store with one failed round.
+func exportStore() *tsstore.Store {
+	st := tsstore.New(tsstore.Config{Capacity: 8})
+	for i := 0; i < 3; i++ {
+		st.Observe(sample("path-a", i, time.Duration(i)*time.Second, 4e6+float64(i)*1e5, 6e6+float64(i)*1e5))
+	}
+	st.Observe(sample("path-b", 0, 0, 20e6, 22e6))
+	st.Observe(pathload.Sample{Path: "path-b", Round: 1, At: time.Second, Err: io.ErrUnexpectedEOF})
+	return st
+}
+
+// TestWritePrometheus: the exposition carries every family, labels the
+// paths, and is byte-identical across renders (scrape determinism).
+func TestWritePrometheus(t *testing.T) {
+	st := exportStore()
+	var a, b strings.Builder
+	if err := st.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same store differ")
+	}
+	out := a.String()
+	for _, want := range []string{
+		`pathload_availbw_samples_total{path="path-a"} 3`,
+		`pathload_availbw_samples_total{path="path-b"} 2`,
+		`pathload_availbw_errors_total{path="path-b"} 1`,
+		`pathload_availbw_retained_points{path="path-a"} 3`,
+		`pathload_availbw_lo_bps{path="path-b"} 2e+07`,
+		`pathload_availbw_quantile_bps{path="path-a",quantile="0.5"}`,
+		"# TYPE pathload_availbw_window_relvar gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// path-a sorts before path-b within every family.
+	if strings.Index(out, `samples_total{path="path-a"}`) > strings.Index(out, `samples_total{path="path-b"}`) {
+		t.Error("paths not sorted in exposition")
+	}
+}
+
+// TestWriteMRTG: rows quantize mids into paper-style buckets; error
+// rounds render as gaps.
+func TestWriteMRTG(t *testing.T) {
+	st := exportStore()
+	var sb strings.Builder
+	if err := st.WriteMRTG(&sb, "path-b", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// path-b round 0 mid is 21 Mb/s → [18, 24) with the 6 Mb/s default.
+	if !strings.Contains(out, "[    18,    24)") {
+		t.Errorf("missing 6 Mb/s bucket row:\n%s", out)
+	}
+	if !strings.Contains(out, "error") {
+		t.Errorf("failed round not rendered:\n%s", out)
+	}
+}
+
+// TestHandler drives every endpoint through httptest.
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(exportStore().Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "path-a") {
+		t.Errorf("/ → %d\n%s", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "pathload_availbw_samples_total") {
+		t.Errorf("/metrics → %d\n%s", code, body)
+	}
+	if code, body := get("/mrtg?path=path-a"); code != 200 || !strings.Contains(body, "path-a: 3 points") {
+		t.Errorf("/mrtg → %d\n%s", code, body)
+	}
+	if code, _ := get("/mrtg"); code != 400 {
+		t.Errorf("/mrtg without path → %d, want 400", code)
+	}
+	if code, _ := get("/mrtg?path=ghost"); code != 404 {
+		t.Errorf("/mrtg unknown path → %d, want 404", code)
+	}
+	if code, _ := get("/mrtg?path=path-a&step=-1"); code != 400 {
+		t.Errorf("/mrtg bad step → %d, want 400", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope → %d, want 404", code)
+	}
+
+	code, body := get("/series?path=path-b")
+	if code != 200 {
+		t.Fatalf("/series → %d\n%s", code, body)
+	}
+	var series []struct {
+		Path      string `json:"path"`
+		Samples   uint64 `json:"samples_total"`
+		Errors    uint64 `json:"errors_total"`
+		Aggregate struct {
+			Count  int `json:"count"`
+			Errors int `json:"errors"`
+		} `json:"aggregate"`
+		Points []struct {
+			Round int    `json:"round"`
+			Err   string `json:"error"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("bad /series JSON: %v\n%s", err, body)
+	}
+	if len(series) != 1 || series[0].Path != "path-b" || series[0].Samples != 2 || series[0].Errors != 1 {
+		t.Fatalf("/series content: %+v", series)
+	}
+	if len(series[0].Points) != 2 || series[0].Points[1].Err == "" {
+		t.Fatalf("/series points: %+v", series[0].Points)
+	}
+	if code, _ := get("/series?path=ghost"); code != 404 {
+		t.Errorf("/series unknown path → %d, want 404", code)
+	}
+}

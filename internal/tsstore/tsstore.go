@@ -1,0 +1,367 @@
+// Package tsstore retains and aggregates per-path avail-bw time
+// series. It is the persistence layer behind pathload.Monitor that the
+// paper's dynamics study (§VI) presupposes: variability ρ (Eq. 12),
+// relative variation, and "does the estimate track load changes" are
+// all properties of a *series*, not of one measurement, so the monitor
+// fire-hosing Samples down a channel is not enough — something has to
+// remember them.
+//
+// A Store keeps one fixed-capacity ring buffer of Points per path
+// (oldest samples are evicted once a path wraps), a running quantile
+// Digest of the path's mid-range estimates over all time, and offers
+// windowed aggregation (min/max/mean, windowed ρ, quantiles) through
+// Window and AggregatePoints. The scrape/rendering surface on top of
+// it — Prometheus-style text exposition, the paper-style MRTG bucket
+// rendering, and an HTTP handler — lives in export.go.
+//
+// A Store implements pathload.SampleSink, so wiring it into a monitor
+// is one field: MonitorConfig{Store: store}. All methods are safe for
+// concurrent use; Observe is called from every session goroutine of
+// the monitor at once.
+package tsstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	pathload "repro"
+)
+
+// DefaultCapacity is the default per-path ring size. At the paper's
+// operational cadence (a measurement every few seconds, §VI-C) 1024
+// points retain on the order of an hour of history per path.
+const DefaultCapacity = 1024
+
+// Config tunes a Store. The zero value is usable.
+type Config struct {
+	// Capacity is the number of Points retained per path before the
+	// ring wraps and evicts the oldest. 0 selects DefaultCapacity;
+	// negative values are rejected by New.
+	Capacity int
+	// DigestSize is the centroid budget of every quantile digest the
+	// store builds. 0 selects DefaultDigestSize.
+	DigestSize int
+}
+
+// A Point is one stored sample of a path's avail-bw series: the
+// monitor's Sample with the fields the retention layer needs, made
+// comparable across runs (At and Span are virtual path-local time
+// under the simulator, so stored series are reproducible).
+type Point struct {
+	// Round counts the path's measurements from 0 (monotone per path,
+	// even across ring eviction).
+	Round int
+	// At is the path-local time offset of the measurement start.
+	At time.Duration
+	// Span is the probing time the measurement consumed; At+Span is
+	// the path-local end of the round.
+	Span time.Duration
+	// Wall is the wall-clock completion time, kept for dashboards but
+	// excluded from all deterministic renderings.
+	Wall time.Time
+	// Lo and Hi bracket the measured avail-bw variation range, bits/s
+	// (the paper's [Rmin, Rmax]); both are 0 for failed rounds.
+	Lo, Hi float64
+	// Err is the measurement error text for failed rounds, "" for
+	// successful ones.
+	Err string
+}
+
+// OK reports whether the round succeeded.
+func (p Point) OK() bool { return p.Err == "" }
+
+// Mid returns the center of the point's range.
+func (p Point) Mid() float64 { return (p.Lo + p.Hi) / 2 }
+
+// RelVar returns the point's relative variation ρ = (Hi−Lo)/Mid
+// (Eq. 12), or 0 for a zero-center range.
+func (p Point) RelVar() float64 {
+	if p.Mid() == 0 {
+		return 0
+	}
+	return (p.Hi - p.Lo) / p.Mid()
+}
+
+// series is one path's retained history: a ring of Points plus
+// all-time counters and a running digest of mid-range estimates.
+type series struct {
+	pts    []Point // ring storage, len == capacity
+	head   int     // index of the oldest retained point
+	n      int     // retained count, <= len(pts)
+	total  uint64  // points ever observed (retained + evicted)
+	errs   uint64  // failed rounds ever observed
+	digest *Digest // all-time digest of OK mid-range estimates
+}
+
+// push appends a point, evicting the oldest when full.
+func (s *series) push(p Point) {
+	if s.n < len(s.pts) {
+		s.pts[(s.head+s.n)%len(s.pts)] = p
+		s.n++
+	} else {
+		s.pts[s.head] = p
+		s.head = (s.head + 1) % len(s.pts)
+	}
+	s.total++
+	if p.OK() {
+		s.digest.Add(p.Mid())
+	} else {
+		s.errs++
+	}
+}
+
+// at returns the i-th retained point in chronological order.
+func (s *series) at(i int) Point { return s.pts[(s.head+i)%len(s.pts)] }
+
+// A Store retains per-path avail-bw series. Create with New; feed it
+// by setting it as a MonitorConfig.Store (or by calling Observe
+// directly). The zero Store is not usable.
+type Store struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// New creates an empty store. It panics on a negative Capacity or
+// DigestSize: silent acceptance would turn every path into a zero-size
+// ring that remembers nothing.
+func New(cfg Config) *Store {
+	if cfg.Capacity < 0 || cfg.DigestSize < 0 {
+		panic(fmt.Sprintf("tsstore: negative Capacity %d or DigestSize %d", cfg.Capacity, cfg.DigestSize))
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.DigestSize == 0 {
+		cfg.DigestSize = DefaultDigestSize
+	}
+	return &Store{cfg: cfg, series: map[string]*series{}}
+}
+
+// Observe records one monitor sample into the path's ring. It
+// implements pathload.SampleSink and is safe to call from every
+// session goroutine concurrently. Failed rounds are retained too (as
+// Points with Err set): a gap in a path's series is itself signal
+// (§VI: an unmeasurable path is a dynamics event, not a non-event).
+func (st *Store) Observe(s pathload.Sample) {
+	// Span is copied even for failed rounds: Run reports the probing
+	// time it consumed before the error, and the monitor advances the
+	// path clock by it, so dropping it would leave timeline gaps.
+	p := Point{Round: s.Round, At: s.At, Wall: s.Wall, Span: s.Result.Elapsed}
+	if s.Err != nil {
+		p.Err = s.Err.Error()
+	} else {
+		p.Lo, p.Hi = s.Result.Lo, s.Result.Hi
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	se := st.series[s.Path]
+	if se == nil {
+		se = &series{pts: make([]Point, st.cfg.Capacity), digest: NewDigest(st.cfg.DigestSize)}
+		st.series[s.Path] = se
+	}
+	se.push(p)
+}
+
+// Paths returns the known path identifiers, sorted, so that every
+// rendering of the store is deterministic.
+func (st *Store) Paths() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ids := make([]string, 0, len(st.series))
+	for id := range st.series {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of retained points for path (0 for unknown
+// paths).
+func (st *Store) Len(path string) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if se := st.series[path]; se != nil {
+		return se.n
+	}
+	return 0
+}
+
+// Totals returns how many samples the path has ever delivered
+// (retained + evicted) and how many of them failed.
+func (st *Store) Totals(path string) (samples, errors uint64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if se := st.series[path]; se != nil {
+		return se.total, se.errs
+	}
+	return 0, 0
+}
+
+// Snapshot copies the path's retained points in chronological order.
+func (st *Store) Snapshot(path string) []Point {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil {
+		return nil
+	}
+	out := make([]Point, se.n)
+	for i := range out {
+		out[i] = se.at(i)
+	}
+	return out
+}
+
+// Query returns the retained points whose measurement start At falls
+// in the half-open window [from, to), in chronological order.
+func (st *Store) Query(path string, from, to time.Duration) []Point {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil {
+		return nil
+	}
+	var out []Point
+	for i := 0; i < se.n; i++ {
+		if p := se.at(i); p.At >= from && p.At < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile of the path's mid-range avail-bw
+// estimates over all time (the running digest, eviction-proof). It
+// returns NaN for unknown paths and paths with no successful rounds.
+func (st *Store) Quantile(path string, q float64) float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil {
+		return math.NaN()
+	}
+	return se.digest.Quantile(q)
+}
+
+// A view is a consistent read of one path's state, taken under a
+// single lock acquisition so the export surface never mixes epochs
+// (e.g. a retained count newer than the aggregates next to it).
+type view struct {
+	pts    []Point
+	total  uint64
+	errs   uint64
+	digest Digest // deep copy of the all-time digest
+}
+
+// view snapshots one path atomically; ok is false for unknown paths.
+func (st *Store) view(path string) (v view, ok bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil {
+		return view{}, false
+	}
+	v = view{total: se.total, errs: se.errs}
+	v.pts = make([]Point, se.n)
+	for i := range v.pts {
+		v.pts[i] = se.at(i)
+	}
+	v.digest = Digest{size: se.digest.size, n: se.digest.n, cs: append([]centroid(nil), se.digest.cs...)}
+	return v, true
+}
+
+// Window aggregates the path's retained points with At in [from, to).
+func (st *Store) Window(path string, from, to time.Duration) Aggregate {
+	return st.aggregate(st.Query(path, from, to))
+}
+
+// Retained aggregates everything the path's ring currently holds — the
+// store's widest window, and what the scrape surface exports.
+func (st *Store) Retained(path string) Aggregate {
+	return st.aggregate(st.Snapshot(path))
+}
+
+func (st *Store) aggregate(pts []Point) Aggregate {
+	return AggregatePoints(pts, st.cfg.DigestSize)
+}
+
+// An Aggregate summarizes a window of a path's series: the §VI-B view
+// of the avail-bw process over that window.
+type Aggregate struct {
+	// Count is the number of points in the window; Errors of them
+	// failed. All other fields summarize the Count−Errors successful
+	// points and are zero when there are none.
+	Count, Errors int
+	// First and Last are the At offsets of the window's successful
+	// extremes.
+	First, Last time.Duration
+	// MinLo and MaxHi bound the avail-bw variation observed across the
+	// window: the widest [Rmin, Rmax] the process visited.
+	MinLo, MaxHi float64
+	// MeanLo, MeanHi, and MeanMid are arithmetic means of the per-point
+	// range bounds and centers.
+	MeanLo, MeanHi, MeanMid float64
+	// MeanRelVar is the mean per-point relative variation ρ (Eq. 12):
+	// the within-measurement variability the paper plots in Figs 11–14.
+	MeanRelVar float64
+	// RelVar is the windowed relative variation, (MaxHi−MinLo) over
+	// the window center (MaxHi+MinLo)/2: how much the avail-bw process
+	// moved across the whole window, the paper's long-timescale ρ.
+	RelVar float64
+	// Digest summarizes the distribution of the per-point mid-range
+	// estimates; nil when the window has no successful points.
+	Digest *Digest
+}
+
+// Quantile returns the q-th quantile of the window's mid-range
+// estimates, or NaN for a window with no successful points.
+func (a Aggregate) Quantile(q float64) float64 {
+	if a.Digest == nil {
+		return math.NaN()
+	}
+	return a.Digest.Quantile(q)
+}
+
+// AggregatePoints computes the Aggregate of an arbitrary point slice
+// (digestSize as in Config; 0 selects the default). An empty or
+// all-failed window yields a zero Aggregate with a nil Digest — the
+// empty window is answerable, it just holds no bandwidth information.
+func AggregatePoints(pts []Point, digestSize int) Aggregate {
+	var a Aggregate
+	a.Count = len(pts)
+	var sumLo, sumHi, sumMid, sumRho float64
+	ok := 0
+	for _, p := range pts {
+		if !p.OK() {
+			a.Errors++
+			continue
+		}
+		if ok == 0 {
+			a.First, a.MinLo, a.MaxHi = p.At, p.Lo, p.Hi
+			a.Digest = NewDigest(digestSize)
+		}
+		a.Last = p.At
+		a.MinLo = math.Min(a.MinLo, p.Lo)
+		a.MaxHi = math.Max(a.MaxHi, p.Hi)
+		sumLo += p.Lo
+		sumHi += p.Hi
+		sumMid += p.Mid()
+		sumRho += p.RelVar()
+		a.Digest.Add(p.Mid())
+		ok++
+	}
+	if ok > 0 {
+		n := float64(ok)
+		a.MeanLo, a.MeanHi, a.MeanMid = sumLo/n, sumHi/n, sumMid/n
+		a.MeanRelVar = sumRho / n
+		if c := (a.MaxHi + a.MinLo) / 2; c != 0 {
+			a.RelVar = (a.MaxHi - a.MinLo) / c
+		}
+	}
+	return a
+}

@@ -43,6 +43,11 @@ type MonitorConfig struct {
 	// Config is the measurement configuration applied to every round
 	// on every path.
 	Config Config
+	// Store, when non-nil, additionally receives every sample the
+	// monitor produces, before the Results channel sees it. Use it to
+	// retain time series (internal/tsstore) without giving up the live
+	// channel.
+	Store SampleSink
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -99,6 +104,20 @@ func (s Sample) String() string {
 	return fmt.Sprintf("%s[%d] @%v %v", s.Path, s.Round, s.At, s.Result)
 }
 
+// A SampleSink receives every Sample a Monitor produces, the retention
+// side of the paper's dynamics viewpoint (§VI): the Results channel is
+// for live consumption, a sink is for history. internal/tsstore.Store
+// is the canonical implementation.
+//
+// Observe is called synchronously from each path's session goroutine,
+// so implementations must be safe for concurrent use and should return
+// quickly — a slow sink delays that path's next round. Unlike the
+// Results channel, a sink sees every finished round unconditionally:
+// samples a stopped or slow consumer would miss still reach the sink.
+type SampleSink interface {
+	Observe(Sample)
+}
+
 // session is the per-path state of a monitor.
 type session struct {
 	id     string
@@ -121,7 +140,9 @@ type session struct {
 //
 // Lifecycle: NewMonitor, AddPath for every path, Start, consume
 // Results; then either Wait (Rounds > 0) or Stop. Results is closed
-// when every session has finished.
+// when every session has finished. Attach a SampleSink via
+// MonitorConfig.Store to retain the per-path series beyond the channel
+// (windowed ρ, quantiles, scrape export — see internal/tsstore).
 type Monitor struct {
 	cfg      MonitorConfig
 	sessions []*session
@@ -256,6 +277,9 @@ func (m *Monitor) run(s *session) {
 
 		sample := Sample{Path: s.id, Round: round, At: at, Wall: time.Now(), Result: res, Err: err}
 		at += res.Elapsed
+		if m.cfg.Store != nil {
+			m.cfg.Store.Observe(sample)
+		}
 		// A finished round is delivered even when Stop has been called:
 		// prefer the buffer slot, and fall back to racing stop only when
 		// the channel is full (the consumer may be gone).
@@ -279,8 +303,12 @@ func (m *Monitor) run(s *session) {
 		}
 		if gap := m.gap(s); gap > 0 {
 			if err := s.prober.Idle(gap); err != nil {
+				idleErr := Sample{Path: s.id, Round: round + 1, At: at, Wall: time.Now(), Err: fmt.Errorf("pathload: idle: %w", err)}
+				if m.cfg.Store != nil {
+					m.cfg.Store.Observe(idleErr)
+				}
 				select {
-				case m.results <- Sample{Path: s.id, Round: round + 1, At: at, Wall: time.Now(), Err: fmt.Errorf("pathload: idle: %w", err)}:
+				case m.results <- idleErr:
 				case <-m.stop:
 				}
 				return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -268,5 +269,82 @@ func TestMonitorSurvivesMeasurementErrors(t *testing.T) {
 	m.Wait()
 	if badErrs != 2 || goodOK != 2 {
 		t.Fatalf("bad=%d good=%d samples, want 2 and 2", badErrs, goodOK)
+	}
+}
+
+// recordingSink is a SampleSink that tallies everything it sees.
+type recordingSink struct {
+	mu      sync.Mutex
+	byPath  map[string][]pathload.Sample
+	observe int
+}
+
+func (r *recordingSink) Observe(s pathload.Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byPath == nil {
+		r.byPath = map[string][]pathload.Sample{}
+	}
+	r.byPath[s.Path] = append(r.byPath[s.Path], s)
+	r.observe++
+}
+
+// TestMonitorStoreSink: a configured Store sees every sample — the
+// same rounds the Results channel delivers, in per-path round order,
+// error samples included.
+func TestMonitorStoreSink(t *testing.T) {
+	sink := &recordingSink{}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  3,
+		Rounds:   3,
+		Interval: time.Millisecond,
+		Seed:     11,
+		Config:   fastCfg(),
+		Store:    sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("transport down")
+	if err := m.AddPath("bad", &fakePath{fail: boom}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.AddPath(fmt.Sprintf("p%d", i), &fakePath{avail: float64(i+1) * 5e6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	for range m.Results() {
+		delivered++
+	}
+	m.Wait()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.observe != delivered {
+		t.Fatalf("sink saw %d samples, channel delivered %d", sink.observe, delivered)
+	}
+	if got := len(sink.byPath); got != 6 {
+		t.Fatalf("sink saw %d paths, want 6", got)
+	}
+	for id, samples := range sink.byPath {
+		if len(samples) != 3 {
+			t.Errorf("%s: sink saw %d rounds, want 3", id, len(samples))
+		}
+		for i, s := range samples {
+			// Observe is called from the path's own session goroutine, so
+			// per-path order is round order even though cross-path
+			// interleaving is scheduler-dependent.
+			if s.Round != i {
+				t.Errorf("%s: sink order broken: position %d holds round %d", id, i, s.Round)
+			}
+			if id == "bad" && s.Err == nil {
+				t.Errorf("%s round %d: error sample lost its error", id, s.Round)
+			}
+		}
 	}
 }
