@@ -23,6 +23,14 @@
 //
 //	pathload -monitor -paths 16 -rounds 5 -export :9090 &
 //	curl -s localhost:9090/metrics | grep availbw_window
+//
+// With -mesh the fleet's paths share a backbone instead of being
+// independent shards: all paths run over one simulator on the chosen
+// shape (star, chain, tree, disjoint), so their probe streams contend
+// on the common links while the monitor streams per-path samples as
+// usual:
+//
+//	pathload -monitor -mesh star -paths 8 -rounds 3 -export :9090
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 
 	"repro/internal/crosstraffic"
 	"repro/internal/experiments"
+	"repro/internal/mesh"
 	"repro/internal/netsim"
 	"repro/internal/simprobe"
 	"repro/internal/tsstore"
@@ -67,6 +76,7 @@ func main() {
 		jitter   = flag.Float64("jitter", 0.3, "monitor: gap randomization fraction in [0,1]")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "monitor: max concurrent measurements")
 		export   = flag.String("export", "", "monitor: HTTP listen address for the time-series store (e.g. :9090); keeps serving after the fleet finishes, until interrupted")
+		meshName = flag.String("mesh", "", "monitor: run the fleet over a shared backbone instead of independent paths: star, chain, tree, disjoint (fixed shape parameters; ignores -cap -util -model -sources)")
 	)
 	flag.Parse()
 
@@ -90,7 +100,7 @@ func main() {
 		}
 		runMonitor(monitorOpts{
 			paths: *paths, rounds: *rounds, workers: *workers,
-			interval: *interval, jitter: *jitter, export: *export,
+			interval: *interval, jitter: *jitter, export: *export, mesh: *meshName,
 			capMbps: *capMbps, util: *util, model: m, sources: *sources, seed: *seed,
 			measure: pathload.Config{
 				PacketsPerStream: *k,
@@ -157,6 +167,7 @@ type monitorOpts struct {
 	interval               time.Duration
 	jitter                 float64
 	export                 string
+	mesh                   string
 	capMbps, util          float64
 	model                  crosstraffic.Model
 	sources                int
@@ -164,11 +175,11 @@ type monitorOpts struct {
 	measure                pathload.Config
 }
 
-// runMonitor builds a fleet of single-hop paths whose utilizations
-// sweep around the -util flag, warms every shard in parallel, and
-// streams the monitor's samples as they complete. Every sample also
-// lands in a tsstore.Store; with -export the store is served over HTTP
-// and the process stays up for scraping after the fleet finishes.
+// runMonitor builds the monitored fleet (independent single-hop shards
+// by default, a shared backbone with -mesh), warms it up, and streams
+// the monitor's samples as they complete. Every sample also lands in a
+// tsstore.Store; with -export the store is served over HTTP and the
+// process stays up for scraping after the fleet finishes.
 func runMonitor(o monitorOpts) {
 	store := tsstore.New(tsstore.Config{})
 	var exportURL string
@@ -186,46 +197,10 @@ func runMonitor(o monitorOpts) {
 		}()
 		fmt.Printf("exporting store on %s (endpoints: /metrics /series /mrtg)\n", exportURL)
 	}
-	nets := make([]*experiments.Net, o.paths)
-	sims := make([]*netsim.Simulator, o.paths)
-	avail := map[string]float64{}
-	for i := range nets {
-		// Sweep utilization across ±50% of the flag, clamped to [0.05, 0.9].
-		u := o.util * (0.5 + float64(i)/float64(max(o.paths-1, 1)))
-		u = math.Min(0.9, math.Max(0.05, u))
-		topo := experiments.Topology{
-			Hops:          1,
-			TightCap:      o.capMbps * 1e6,
-			TightUtil:     u,
-			Model:         o.model,
-			SourcesPerHop: o.sources,
-			Seed:          o.seed + int64(i)*7_919_317,
-		}
-		nets[i] = topo.Build()
-		sims[i] = nets[i].Sim
-		avail[pathID(i)] = topo.AvailBw()
-	}
-	netsim.NewLockstep(0, sims...).AdvanceTo(3 * netsim.Second)
-
-	mon, err := pathload.NewMonitor(pathload.MonitorConfig{
-		Workers:  o.workers,
-		Rounds:   o.rounds,
-		Interval: o.interval,
-		Jitter:   o.jitter,
-		Seed:     o.seed,
-		Config:   o.measure,
-		Store:    store,
-	})
+	mon, avail, err := buildFleet(o, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
 		os.Exit(1)
-	}
-	for i, n := range nets {
-		p := simprobe.New(n.Sim, n.Links, 10*netsim.Millisecond)
-		if err := mon.AddPath(pathID(i), p); err != nil {
-			fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
-			os.Exit(1)
-		}
 	}
 	start := time.Now()
 	if err := mon.Start(); err != nil {
@@ -277,6 +252,78 @@ func runMonitor(o monitorOpts) {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// buildFleet constructs the monitored fleet: either independent
+// single-hop simulator shards (the default) or, with -mesh, routes over
+// one shared-backbone simulator whose probe streams contend on common
+// links. It returns the wired (unstarted) monitor and the per-path
+// analytic avail-bw ground truth.
+func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[string]float64, error) {
+	cfg := pathload.MonitorConfig{
+		Workers:  o.workers,
+		Rounds:   o.rounds,
+		Interval: o.interval,
+		Jitter:   o.jitter,
+		Seed:     o.seed,
+		Config:   o.measure,
+		Store:    store,
+	}
+	avail := map[string]float64{}
+
+	if o.mesh != "" {
+		spec, err := mesh.Shape(o.mesh, o.paths, o.seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := spec.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Warmup(3 * netsim.Second)
+		for _, p := range m.Paths() {
+			avail[p.Name] = p.AvailBw()
+		}
+		mon, err := m.MonitorFleet(cfg, 10*netsim.Millisecond)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("mesh fleet: %d paths over a %s backbone (%d links, shared-link contention)\n",
+			o.paths, o.mesh, len(m.Links()))
+		return mon, avail, nil
+	}
+
+	nets := make([]*experiments.Net, o.paths)
+	sims := make([]*netsim.Simulator, o.paths)
+	for i := range nets {
+		// Sweep utilization across ±50% of the flag, clamped to [0.05, 0.9].
+		u := o.util * (0.5 + float64(i)/float64(max(o.paths-1, 1)))
+		u = math.Min(0.9, math.Max(0.05, u))
+		topo := experiments.Topology{
+			Hops:          1,
+			TightCap:      o.capMbps * 1e6,
+			TightUtil:     u,
+			Model:         o.model,
+			SourcesPerHop: o.sources,
+			Seed:          o.seed + int64(i)*7_919_317,
+		}
+		nets[i] = topo.Build()
+		sims[i] = nets[i].Sim
+		avail[pathID(i)] = topo.AvailBw()
+	}
+	netsim.NewLockstep(0, sims...).AdvanceTo(3 * netsim.Second)
+
+	mon, err := pathload.NewMonitor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, n := range nets {
+		p := simprobe.New(n.Sim, n.Links, 10*netsim.Millisecond)
+		if err := mon.AddPath(pathID(i), p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return mon, avail, nil
 }
 
 // pathID names fleet path i.

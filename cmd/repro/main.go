@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1-3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, baseline, timescale, scale, trajectory")
+	fig := flag.String("fig", "", "figure to reproduce: 1-3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, baseline, timescale, scale, trajectory, contention")
 	all := flag.Bool("all", false, "reproduce every figure")
 	scale := flag.Float64("scale", 1.0, "scale factor for run counts and measurement windows (1 = paper scale)")
 	seed := flag.Int64("seed", 1, "master random seed")
@@ -34,7 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	figs := []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "17", "baseline", "timescale", "scale", "trajectory"}
+	figs := []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "17", "baseline", "timescale", "scale", "trajectory", "contention"}
 	if !*all {
 		figs = strings.Split(*fig, ",")
 	}
@@ -63,6 +63,8 @@ func figLabel(f string) string {
 		return "dynamics at scale"
 	case "trajectory":
 		return "avail-bw trajectories"
+	case "contention":
+		return "fleet self-interference"
 	default:
 		return "fig " + f
 	}
@@ -105,6 +107,8 @@ func render(f string, opt experiments.Options) (string, error) {
 		return experiments.RenderScale(experiments.DynamicsAtScale(opt)), nil
 	case "trajectory":
 		return experiments.RenderTrajectory(experiments.AvailBwTrajectory(opt)), nil
+	case "contention":
+		return experiments.RenderContention(experiments.Contention(opt)), nil
 	default:
 		return "", fmt.Errorf("unknown figure %q", f)
 	}

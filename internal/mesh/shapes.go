@@ -1,0 +1,147 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Backbone shape parameters, shared by the constructors below so every
+// shape's ground truth is easy to reason about. In Star and Tree the
+// shared link is every path's tight link, so contention between fleet
+// streams lands exactly on the hop the measurement is estimating — the
+// worst, and most interesting, case for fleet self-interference; Chain
+// mixes tight-link and quiet-link sharing across neighbor pairs.
+const (
+	accessCap  = 100e6 // bits/s, edge links (never tight)
+	accessUtil = 0.10
+	coreCap    = 10e6   // bits/s, star core and chain hops
+	coreUtil   = 0.55   // A = 4.5 Mb/s on a loaded core hop
+	quietUtil  = 0.35   // the lightly loaded alternate chain hops
+	aggCap     = 24e6   // bits/s, tree aggregation links
+	aggUtil    = 0.35   // A = 15.6 Mb/s, never tight
+	rootCap    = 12.4e6 // bits/s, tree root
+	rootUtil   = 0.50   // A = 6.2 Mb/s, tight for every tree path
+	soloCap    = 10e6   // bits/s, disjoint per-path links
+	soloUtil   = 0.50   // A = 5 Mb/s
+)
+
+// pathName names fleet path i consistently across shapes.
+func pathName(i int) string { return fmt.Sprintf("path-%02d", i) }
+
+// Star builds n paths that all traverse one shared core link: full
+// overlap. Each path enters on its own lightly loaded access link; the
+// 10 Mb/s core at 55% utilization is every path's tight link
+// (A = 4.5 Mb/s).
+func Star(n int, seed int64) Spec {
+	mustPaths("Star", n)
+	s := Spec{Seed: seed}
+	s.Links = append(s.Links, LinkSpec{Name: "core", Capacity: coreCap, Util: coreUtil, Prop: 10 * netsim.Millisecond})
+	for i := 0; i < n; i++ {
+		in := fmt.Sprintf("in-%02d", i)
+		s.Links = append(s.Links, LinkSpec{Name: in, Capacity: accessCap, Util: accessUtil, Prop: 2 * netsim.Millisecond})
+		s.Routes = append(s.Routes, RouteSpec{Name: pathName(i), Links: []string{in, "core"}})
+	}
+	return s
+}
+
+// Chain builds the parking-lot pattern: n+1 backbone hops in a row,
+// path i traversing hops i and i+1, so adjacent paths overlap in
+// exactly one link and non-adjacent paths are disjoint. Hop
+// utilizations alternate 55%/35%, making each path's tight link its
+// even-numbered hop (A = 4.5 Mb/s). The link a neighbor pair shares is
+// their mutual tight link for odd-even pairs (paths 1 and 2 share the
+// loaded hop 2) but a quiet hop for even-odd pairs (paths 0 and 1
+// share the lightly loaded hop 1), so a chain sweep exercises both
+// tight-link and non-tight-link contention.
+func Chain(n int, seed int64) Spec {
+	mustPaths("Chain", n)
+	s := Spec{Seed: seed}
+	for h := 0; h <= n; h++ {
+		util := coreUtil
+		if h%2 == 1 {
+			util = quietUtil
+		}
+		s.Links = append(s.Links, LinkSpec{Name: fmt.Sprintf("hop-%02d", h), Capacity: coreCap, Util: util, Prop: 5 * netsim.Millisecond})
+	}
+	for i := 0; i < n; i++ {
+		s.Routes = append(s.Routes, RouteSpec{
+			Name:  pathName(i),
+			Links: []string{fmt.Sprintf("hop-%02d", i), fmt.Sprintf("hop-%02d", i+1)},
+		})
+	}
+	return s
+}
+
+// TreeFanout is the number of leaves per aggregation link in Tree.
+const TreeFanout = 2
+
+// Tree builds a two-level aggregation tree: each path climbs its own
+// leaf link, shares an aggregation link with up to TreeFanout−1
+// siblings, and every path crosses the single root. The root is the
+// tight link for all paths (A = 6.2 Mb/s), so group siblings contend
+// on two hops and cross-group paths on one.
+func Tree(n int, seed int64) Spec {
+	mustPaths("Tree", n)
+	s := Spec{Seed: seed}
+	s.Links = append(s.Links, LinkSpec{Name: "root", Capacity: rootCap, Util: rootUtil, Prop: 10 * netsim.Millisecond})
+	groups := (n + TreeFanout - 1) / TreeFanout
+	for g := 0; g < groups; g++ {
+		s.Links = append(s.Links, LinkSpec{Name: fmt.Sprintf("agg-%02d", g), Capacity: aggCap, Util: aggUtil, Prop: 4 * netsim.Millisecond})
+	}
+	for i := 0; i < n; i++ {
+		leaf := fmt.Sprintf("leaf-%02d", i)
+		s.Links = append(s.Links, LinkSpec{Name: leaf, Capacity: accessCap, Util: accessUtil, Prop: 1 * netsim.Millisecond})
+		s.Routes = append(s.Routes, RouteSpec{
+			Name:  pathName(i),
+			Links: []string{leaf, fmt.Sprintf("agg-%02d", i/TreeFanout), "root"},
+		})
+	}
+	return s
+}
+
+// Disjoint builds n parallel single-link paths with no shared links —
+// the control group: co-probing a disjoint fleet must not shift any
+// path's estimate beyond its solo error band. A = 5 Mb/s per path.
+func Disjoint(n int, seed int64) Spec {
+	mustPaths("Disjoint", n)
+	s := Spec{Seed: seed}
+	for i := 0; i < n; i++ {
+		lone := fmt.Sprintf("lone-%02d", i)
+		s.Links = append(s.Links, LinkSpec{Name: lone, Capacity: soloCap, Util: soloUtil, Prop: 10 * netsim.Millisecond})
+		s.Routes = append(s.Routes, RouteSpec{Name: pathName(i), Links: []string{lone}})
+	}
+	return s
+}
+
+// ShapeNames lists the built-in backbone shapes in presentation order.
+func ShapeNames() []string { return []string{"star", "chain", "tree", "disjoint"} }
+
+// Shape builds the named backbone with n paths. Unknown names and
+// non-positive fleet sizes error (the direct constructors panic
+// instead: a zero-path fleet there is a programming bug, here it may
+// be a user's flag).
+func Shape(name string, n int, seed int64) (Spec, error) {
+	if n < 1 {
+		return Spec{}, fmt.Errorf("mesh: shape %q needs at least one path, got %d", name, n)
+	}
+	switch name {
+	case "star":
+		return Star(n, seed), nil
+	case "chain":
+		return Chain(n, seed), nil
+	case "tree":
+		return Tree(n, seed), nil
+	case "disjoint":
+		return Disjoint(n, seed), nil
+	default:
+		return Spec{}, fmt.Errorf("mesh: unknown shape %q (have %v)", name, ShapeNames())
+	}
+}
+
+// mustPaths guards the shape constructors against empty fleets.
+func mustPaths(shape string, n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("mesh: %s needs at least one path, got %d", shape, n))
+	}
+}

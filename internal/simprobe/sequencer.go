@@ -1,0 +1,300 @@
+package simprobe
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// A Sequencer co-schedules several probers over one simulator so their
+// probe streams genuinely overlap in virtual time, deterministically.
+//
+// SharedSim serializes siblings with a mutex held across each whole
+// stream, so two streams never coexist on the timeline and the
+// interleaving follows the host scheduler. The Sequencer instead splits
+// every prober operation into a setup (schedule my packet injections)
+// and an await (wake me when they have arrived, or at a deadline), parks
+// the prober goroutine between the two, and advances the event loop
+// itself. While one prober waits for its stream, its siblings get the
+// floor and schedule theirs at the same virtual time — the streams
+// queue against each other on shared links exactly like cross traffic,
+// which is what fleet self-interference experiments need to observe.
+//
+// Determinism comes from two rules. First, exactly one goroutine — a
+// prober holding the floor, or the driver — touches the simulator at a
+// time, and the floor only changes hands through Drive. Second, Drive
+// acts only when every live prober is parked, and then always picks the
+// lowest-numbered prober whose turn can proceed, so the global order of
+// operations is a pure function of the probers' own measurement logic,
+// never of host scheduling. Two runs with identical inputs produce
+// identical results, packet IDs included.
+//
+// Lifecycle: NewSequencer, NewProber for every path, start one
+// goroutine per prober (each prober stays single-goroutine), then
+// Drive from the owner. Every prober goroutine must end by calling
+// Retire — including on measurement error — or Drive waits forever for
+// its next move; Drive returns once all probers have retired.
+type Sequencer struct {
+	sim *netsim.Simulator
+
+	mu      sync.Mutex
+	changed *sync.Cond
+	slots   []*seqSlot
+	driving bool
+
+	// nextID hands out packet IDs; guarded by the floor, not the mutex
+	// (only the goroutine holding the floor allocates).
+	nextID uint64
+}
+
+// seqState tracks where a sequenced prober's goroutine is.
+type seqState int
+
+const (
+	// seqRunning: the goroutine is computing outside the sequencer (or
+	// has not started yet). The driver must wait for it to park.
+	seqRunning seqState = iota
+	// seqParkedSection: parked at the top of a section, waiting for the
+	// floor to run its setup.
+	seqParkedSection
+	// seqParkedAwait: setup done; waiting for its condition or deadline.
+	seqParkedAwait
+	// seqRetired: the goroutine is done; never counted again.
+	seqRetired
+)
+
+// A seqSlot is one prober's seat in the deterministic rotation.
+type seqSlot struct {
+	seq      *Sequencer
+	id       int
+	state    seqState
+	cond     func() bool // nil for pure time waits
+	deadline netsim.Time
+	grant    chan struct{}
+}
+
+// NewSequencer wraps sim for deterministic multi-prober co-scheduling.
+// The simulator may be warmed up directly before the first Drive; once
+// Drive runs it must only be touched through sequenced probers.
+func NewSequencer(sim *netsim.Simulator) *Sequencer {
+	s := &Sequencer{sim: sim}
+	s.changed = sync.NewCond(&s.mu)
+	return s
+}
+
+// NewProber creates a co-scheduled prober measuring over route. Probers
+// must all be created before Drive; their creation order fixes the
+// deterministic turn order.
+func (s *Sequencer) NewProber(route []*netsim.Link, reverseDelay netsim.Time) *Prober {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.driving {
+		panic("simprobe: Sequencer.NewProber after Drive started")
+	}
+	p := New(s.sim, route, reverseDelay)
+	sl := &seqSlot{seq: s, id: len(s.slots), state: seqRunning, grant: make(chan struct{})}
+	s.slots = append(s.slots, sl)
+	p.slot = sl
+	return p
+}
+
+// Retire releases a sequenced prober's seat, letting Drive stop waiting
+// for its next move. It must be called exactly once per sequenced
+// prober, when its goroutine is done measuring — deferring it right
+// after the goroutine starts covers error exits too. Retire on a
+// non-sequenced prober is a no-op, so fleet code need not distinguish.
+func (p *Prober) Retire() {
+	if p.slot == nil {
+		return
+	}
+	s := p.slot.seq
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.slot.state = seqRetired
+	s.changed.Broadcast()
+}
+
+// nextPktID allocates a packet ID. Callers hold the floor.
+func (s *Sequencer) nextPktID() uint64 {
+	s.nextID++
+	return s.nextID
+}
+
+// section is the sequenced engine: park, run setup when granted the
+// floor, park again, run collect when the await is granted. Between the
+// final grant and the next park this goroutine keeps the floor, so
+// collect and any caller code up to the next section may read
+// simulation results safely — the driver never advances the clock while
+// a prober is unparked.
+func (sl *seqSlot) section(setup func(sim *netsim.Simulator) (cond func() bool, deadline netsim.Time), collect func()) {
+	s := sl.seq
+
+	s.mu.Lock()
+	if sl.state == seqRetired {
+		s.mu.Unlock()
+		panic("simprobe: sequenced prober used after Retire")
+	}
+	sl.state = seqParkedSection
+	s.changed.Broadcast()
+	s.mu.Unlock()
+	<-sl.grant // floor acquired: schedule
+
+	cond, deadline := setup(s.sim)
+
+	s.mu.Lock()
+	sl.state = seqParkedAwait
+	sl.cond, sl.deadline = cond, deadline
+	s.changed.Broadcast()
+	s.mu.Unlock()
+	<-sl.grant // condition met or deadline reached
+
+	if collect != nil {
+		collect()
+	}
+}
+
+// Drive runs the co-scheduling loop until every prober has retired. It
+// blocks the calling goroutine; probers run in their own goroutines and
+// are granted the floor one at a time.
+func (s *Sequencer) Drive() {
+	s.mu.Lock()
+	if s.driving {
+		s.mu.Unlock()
+		panic("simprobe: Sequencer.Drive called twice")
+	}
+	s.driving = true
+	for {
+		// Rule one: act only on a full picture — every live prober
+		// parked, none mid-computation.
+		for s.anyRunning() {
+			s.changed.Wait()
+		}
+		if s.allRetired() {
+			s.mu.Unlock()
+			return
+		}
+		// Rule two: deterministic choice. Pending setups first (they
+		// only schedule future injections, never fire events, so
+		// serving them before ready awaits is safe), then the first
+		// satisfied await; both by lowest slot number.
+		if sl := s.lowestParkedSection(); sl != nil {
+			s.grantLocked(sl)
+			continue
+		}
+		if sl := s.firstReadyAwait(); sl != nil {
+			s.grantLocked(sl)
+			continue
+		}
+		// Everyone is waiting and nobody is ready: advance the
+		// simulator toward the nearest deadline, one event at a time so
+		// conditions are rechecked at every state change.
+		dl, ok := s.minDeadline()
+		if !ok {
+			// Unreachable: non-retired slots all sit in seqParkedAwait
+			// here, and every await carries a deadline.
+			s.mu.Unlock()
+			panic("simprobe: sequencer stalled with no deadlines")
+		}
+		s.mu.Unlock()
+		if !s.sim.Step(dl) {
+			s.sim.Run(dl) // no events before dl: just pass the time
+		}
+		s.mu.Lock()
+	}
+}
+
+// grantLocked hands sl the floor and reacquires the lock once the
+// handoff is done. The send must happen outside the mutex: the prober
+// needs no lock to receive, but holding it here could deadlock with a
+// sibling trying to park.
+func (s *Sequencer) grantLocked(sl *seqSlot) {
+	sl.state = seqRunning
+	s.mu.Unlock()
+	sl.grant <- struct{}{}
+	s.mu.Lock()
+}
+
+// anyRunning reports whether some live prober holds or may take the
+// floor outside the sequencer's control.
+func (s *Sequencer) anyRunning() bool {
+	for _, sl := range s.slots {
+		if sl.state == seqRunning {
+			return true
+		}
+	}
+	return false
+}
+
+// allRetired reports whether every prober is done.
+func (s *Sequencer) allRetired() bool {
+	for _, sl := range s.slots {
+		if sl.state != seqRetired {
+			return false
+		}
+	}
+	return true
+}
+
+// lowestParkedSection returns the lowest-numbered slot waiting to run a
+// setup, or nil.
+func (s *Sequencer) lowestParkedSection() *seqSlot {
+	for _, sl := range s.slots {
+		if sl.state == seqParkedSection {
+			return sl
+		}
+	}
+	return nil
+}
+
+// firstReadyAwait returns the lowest-numbered waiting slot whose
+// condition holds or whose deadline has passed, or nil. Conditions read
+// only state owned by their (parked) prober, so evaluating them here is
+// safe.
+func (s *Sequencer) firstReadyAwait() *seqSlot {
+	now := s.sim.Now()
+	for _, sl := range s.slots {
+		if sl.state != seqParkedAwait {
+			continue
+		}
+		if now >= sl.deadline || (sl.cond != nil && sl.cond()) {
+			return sl
+		}
+	}
+	return nil
+}
+
+// minDeadline returns the earliest deadline among waiting slots.
+func (s *Sequencer) minDeadline() (netsim.Time, bool) {
+	var dl netsim.Time
+	found := false
+	for _, sl := range s.slots {
+		if sl.state != seqParkedAwait {
+			continue
+		}
+		if !found || sl.deadline < dl {
+			dl, found = sl.deadline, true
+		}
+	}
+	return dl, found
+}
+
+// Probers returns the number of probers created on the sequencer.
+func (s *Sequencer) Probers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.slots)
+}
+
+// String describes the sequencer for diagnostics.
+func (s *Sequencer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retired := 0
+	for _, sl := range s.slots {
+		if sl.state == seqRetired {
+			retired++
+		}
+	}
+	return fmt.Sprintf("sequencer(%d probers, %d retired, t=%v)", len(s.slots), retired, s.sim.Now())
+}

@@ -18,8 +18,10 @@ import (
 // wait, and their next stream starts at whatever time the loop has
 // reached. That is the intended semantics — interleaved measurements on
 // one timeline — but it means results depend on goroutine scheduling
-// and are NOT reproducible run-to-run. When determinism matters, give
-// each path its own simulator and align them with netsim.Lockstep.
+// and are NOT reproducible run-to-run. When determinism matters, use a
+// Sequencer (overlapping paths, one simulator, deterministic
+// co-scheduling) or give each path its own simulator and align them
+// with netsim.Lockstep (independent paths).
 type SharedSim struct {
 	mu     sync.Mutex
 	sim    *netsim.Simulator

@@ -57,7 +57,9 @@ func TestSharedSimConcurrentProbers(t *testing.T) {
 }
 
 // TestSharedSimUniquePacketIDs: sibling probers must draw from one ID
-// space so their packets stay distinguishable on shared links.
+// space so their packets stay distinguishable on shared links. Eight
+// concurrent probers, several streams each, under -race: the ID space
+// must stay collision-free however the mutex interleaves them.
 func TestSharedSimUniquePacketIDs(t *testing.T) {
 	sim := netsim.NewSimulator()
 	link := netsim.NewLink(sim, "l", 50_000_000, netsim.Millisecond, 0)
@@ -73,21 +75,84 @@ func TestSharedSimUniquePacketIDs(t *testing.T) {
 		seen[pkt.ID] = true
 	})
 
+	const probers, streams, k = 8, 3, 20
 	var wg sync.WaitGroup
-	for i := 0; i < 4; i++ {
+	for i := 0; i < probers; i++ {
 		p := shared.NewProber([]*netsim.Link{link}, 10*netsim.Millisecond)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := p.SendStream(pathload.StreamSpec{Rate: 4e6, K: 20, L: 500, T: time.Millisecond}); err != nil {
-				t.Error(err)
+			for s := 0; s < streams; s++ {
+				if _, err := p.SendStream(pathload.StreamSpec{Rate: 4e6, K: k, L: 500, T: time.Millisecond, Index: s}); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
-	if len(seen) != 4*20 {
-		t.Fatalf("transmitted %d distinct packets, want %d", len(seen), 80)
+	if len(seen) != probers*streams*k {
+		t.Fatalf("transmitted %d distinct packets, want %d", len(seen), probers*streams*k)
+	}
+}
+
+// TestSharedSimErrorsDoNotDeadlock: probers that error mid-stream must
+// release the shared simulator — siblings still probing and callers of
+// Locked must make progress, not deadlock on an orphaned mutex.
+func TestSharedSimErrorsDoNotDeadlock(t *testing.T) {
+	sim := netsim.NewSimulator()
+	link := netsim.NewLink(sim, "l", 50_000_000, netsim.Millisecond, 0)
+	shared := NewSharedSim(sim)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			i := i
+			p := shared.NewProber([]*netsim.Link{link}, 10*netsim.Millisecond)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := 0; s < 4; s++ {
+					spec := pathload.StreamSpec{Rate: 4e6, K: 15, L: 400, T: time.Millisecond, Index: s}
+					if i%2 == 0 {
+						spec.K = 0 // invalid: this prober errors out every stream
+					}
+					res, err := p.SendStream(spec)
+					if i%2 == 0 {
+						if err == nil {
+							t.Error("invalid spec did not error")
+						}
+						continue // keep hammering the error path
+					}
+					if err != nil {
+						t.Errorf("prober %d: %v", i, err)
+						return
+					}
+					if len(res.OWDs) != 15 {
+						t.Errorf("prober %d stream %d: %d/15 packets", i, s, len(res.OWDs))
+					}
+					if err := p.Idle(2 * time.Millisecond); err != nil {
+						t.Errorf("prober %d idle: %v", i, err)
+						return
+					}
+				}
+			}()
+		}
+		// Locked must stay acquirable while the fleet churns, errors
+		// included.
+		for j := 0; j < 50; j++ {
+			shared.Locked(func(s *netsim.Simulator) { s.RunFor(netsim.Millisecond) })
+		}
+		wg.Wait()
+		shared.Locked(func(s *netsim.Simulator) { s.RunFor(netsim.Millisecond) })
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("shared simulator deadlocked with erroring probers")
 	}
 }

@@ -8,6 +8,12 @@
 // makes the whole evaluation deterministic and immune to host GC and
 // scheduler jitter — the practical obstacle to microsecond-scale
 // probing from a garbage-collected runtime.
+//
+// A prober can own its simulator outright (New), share it with sibling
+// probers behind a mutex (SharedSim), or share it under a deterministic
+// co-scheduler whose probe streams genuinely overlap in virtual time
+// (Sequencer). All three run the same measurement code; only the
+// section engine — who may touch the simulator when — differs.
 package simprobe
 
 import (
@@ -38,30 +44,61 @@ type Prober struct {
 	// shared is set when the prober belongs to a SharedSim and must
 	// serialize against sibling probers; nil for a privately owned sim.
 	shared *SharedSim
+	// slot is set when the prober belongs to a Sequencer and its
+	// sections are co-scheduled deterministically with its siblings'.
+	slot *seqSlot
 
 	nextPktID uint64
 }
 
-// lock acquires the shared-simulator mutex when the prober has
-// siblings, returning the matching unlock; a private prober pays
-// nothing.
-func (p *Prober) lock() func() {
-	if p.shared == nil {
-		return func() {}
+// section runs setup with exclusive simulator access, advances the
+// simulation until the condition setup returns holds (or, for a nil
+// condition, until the returned deadline), then runs collect, still
+// exclusively. It is the one place ownership matters: a private
+// simulator is driven directly, a SharedSim holds its mutex across the
+// whole section, and a Sequencer parks the goroutine and lets its
+// driver interleave sibling sections on the shared virtual timeline.
+func (p *Prober) section(setup func(sim *netsim.Simulator) (cond func() bool, deadline netsim.Time), collect func()) {
+	switch {
+	case p.slot != nil:
+		p.slot.section(setup, collect)
+	case p.shared != nil:
+		p.shared.mu.Lock()
+		defer p.shared.mu.Unlock()
+		directSection(p.sim, setup, collect)
+	default:
+		directSection(p.sim, setup, collect)
 	}
-	p.shared.mu.Lock()
-	return p.shared.mu.Unlock
 }
 
-// pktID allocates the next probe packet ID, from the shared counter
-// when several probers inject into one simulator.
+// directSection drives a section on a simulator the caller exclusively
+// owns: run setup, advance until the condition or deadline, collect.
+func directSection(sim *netsim.Simulator, setup func(sim *netsim.Simulator) (cond func() bool, deadline netsim.Time), collect func()) {
+	cond, deadline := setup(sim)
+	if cond == nil {
+		sim.Run(deadline)
+	} else {
+		sim.RunUntil(cond, deadline)
+	}
+	if collect != nil {
+		collect()
+	}
+}
+
+// pktID allocates the next probe packet ID, from a shared counter when
+// several probers inject into one simulator. It must only be called
+// inside a section's setup, where simulator access is exclusive.
 func (p *Prober) pktID() uint64 {
-	if p.shared != nil {
+	switch {
+	case p.slot != nil:
+		return p.slot.seq.nextPktID()
+	case p.shared != nil:
 		p.shared.nextID++
 		return p.shared.nextID
+	default:
+		p.nextPktID++
+		return p.nextPktID
 	}
-	p.nextPktID++
-	return p.nextPktID
 }
 
 // probeTag is the payload of simulated probe packets.
@@ -99,8 +136,9 @@ func (p *Prober) RTT() time.Duration {
 // Idle advances the simulation by d, letting cross traffic evolve and
 // queues drain between streams.
 func (p *Prober) Idle(d time.Duration) error {
-	defer p.lock()()
-	p.sim.RunFor(netsim.FromDuration(d))
+	p.section(func(sim *netsim.Simulator) (func() bool, netsim.Time) {
+		return nil, sim.Now() + netsim.FromDuration(d)
+	}, nil)
 	return nil
 }
 
@@ -111,42 +149,42 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 	if spec.K <= 0 || spec.L <= 0 || spec.T <= 0 {
 		return pathload.StreamResult{}, fmt.Errorf("simprobe: invalid stream spec %+v", spec)
 	}
-	defer p.lock()()
 	period := netsim.FromDuration(spec.T)
-	start := p.sim.Now()
 
 	type arrival struct {
 		seq int
 		owd netsim.Time
 	}
 	var got []arrival
-
-	for i := 0; i < spec.K; i++ {
-		i := i
-		pkt := &netsim.Packet{
-			ID:      p.pktID(),
-			Size:    spec.L,
-			Payload: probeTag{stream: spec.Index, seq: i},
-		}
-		p.sim.Schedule(start+netsim.Time(i)*period, func() {
-			p.sim.Inject(pkt, p.route, func(pk *netsim.Packet, at netsim.Time) {
-				got = append(got, arrival{seq: i, owd: at - pk.SentAt})
-			})
-		})
-	}
-
-	// The stream finishes sending at start + K·T; give arrivals until
-	// the base path delay plus a generous queueing allowance.
-	deadline := start + netsim.Time(spec.K)*period + p.baseDelay(spec.L) + p.LossTimeout
-	p.sim.RunUntil(func() bool { return len(got) == spec.K }, deadline)
-
 	res := pathload.StreamResult{Sent: spec.K}
-	for _, a := range got {
-		res.OWDs = append(res.OWDs, pathload.OWDSample{
-			Seq: a.seq,
-			OWD: a.owd.Duration() + p.ClockOffset,
-		})
-	}
+
+	p.section(func(sim *netsim.Simulator) (func() bool, netsim.Time) {
+		start := sim.Now()
+		for i := 0; i < spec.K; i++ {
+			i := i
+			pkt := &netsim.Packet{
+				ID:      p.pktID(),
+				Size:    spec.L,
+				Payload: probeTag{stream: spec.Index, seq: i},
+			}
+			sim.Schedule(start+netsim.Time(i)*period, func() {
+				sim.Inject(pkt, p.route, func(pk *netsim.Packet, at netsim.Time) {
+					got = append(got, arrival{seq: i, owd: at - pk.SentAt})
+				})
+			})
+		}
+		// The stream finishes sending at start + K·T; give arrivals until
+		// the base path delay plus a generous queueing allowance.
+		deadline := start + netsim.Time(spec.K)*period + p.baseDelay(spec.L) + p.LossTimeout
+		return func() bool { return len(got) == spec.K }, deadline
+	}, func() {
+		for _, a := range got {
+			res.OWDs = append(res.OWDs, pathload.OWDSample{
+				Seq: a.seq,
+				OWD: a.owd.Duration() + p.ClockOffset,
+			})
+		}
+	})
 	return res, nil
 }
 

@@ -26,6 +26,15 @@ type fakePath struct {
 	streams int
 	idled   time.Duration
 	fail    error // returned by every SendStream when set
+	// failFirst makes the first failFirst SendStream calls fail with
+	// failErr, then the prober heals — a transient transport outage.
+	failFirst int
+	failErr   error
+	// idleFail is returned by Idle calls of exactly idleFailOn — the
+	// monitor's unjittered re-measurement gap, distinguishable from the
+	// inter-stream idles pathload.Run issues itself.
+	idleFail   error
+	idleFailOn time.Duration
 }
 
 func (f *fakePath) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
@@ -45,6 +54,10 @@ func (f *fakePath) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, 
 	if f.fail != nil {
 		return pathload.StreamResult{}, f.fail
 	}
+	if f.failFirst > 0 {
+		f.failFirst--
+		return pathload.StreamResult{}, f.failErr
+	}
 	f.streams++
 	res := pathload.StreamResult{Sent: spec.K}
 	for i := 0; i < spec.K; i++ {
@@ -57,8 +70,14 @@ func (f *fakePath) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, 
 	return res, nil
 }
 
-func (f *fakePath) Idle(d time.Duration) error { f.idled += d; return nil }
-func (f *fakePath) RTT() time.Duration         { return time.Millisecond }
+func (f *fakePath) Idle(d time.Duration) error {
+	if f.idleFail != nil && d == f.idleFailOn {
+		return f.idleFail
+	}
+	f.idled += d
+	return nil
+}
+func (f *fakePath) RTT() time.Duration { return time.Millisecond }
 
 // fastCfg keeps fake-prober measurements tiny.
 func fastCfg() pathload.Config {
@@ -346,5 +365,122 @@ func TestMonitorStoreSink(t *testing.T) {
 				t.Errorf("%s round %d: error sample lost its error", id, s.Round)
 			}
 		}
+	}
+}
+
+// TestMonitorErrorRoundsFeedSinkAndRecover: a session whose prober
+// errors keeps feeding the SampleSink round after round — and when the
+// transport heals, the next interval's round succeeds. The session must
+// never die from measurement errors.
+func TestMonitorErrorRoundsFeedSinkAndRecover(t *testing.T) {
+	sink := &recordingSink{}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  2,
+		Rounds:   3,
+		Interval: time.Millisecond,
+		Seed:     3,
+		Config:   fastCfg(),
+		Store:    sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("transport down")
+	// "dead" errors on every round's first stream; "flaky" only on
+	// round 0's, then heals.
+	if err := m.AddPath("dead", &fakePath{fail: boom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("flaky", &fakePath{avail: 12e6, failFirst: 1, failErr: boom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	delivered := map[string]int{}
+	for s := range m.Results() {
+		delivered[s.Path]++
+	}
+	m.Wait()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for path, want := range map[string]int{"dead": 3, "flaky": 3} {
+		if got := len(sink.byPath[path]); got != want {
+			t.Fatalf("%s: sink saw %d rounds, want %d (sessions must survive errors)", path, got, want)
+		}
+		if delivered[path] != want {
+			t.Errorf("%s: channel delivered %d rounds, want %d", path, delivered[path], want)
+		}
+	}
+	for i, s := range sink.byPath["dead"] {
+		if s.Round != i || !errors.Is(s.Err, boom) {
+			t.Errorf("dead round %d: sample {round %d, err %v}, want the transport error every round", i, s.Round, s.Err)
+		}
+	}
+	flaky := sink.byPath["flaky"]
+	if !errors.Is(flaky[0].Err, boom) {
+		t.Errorf("flaky round 0: err = %v, want the transport error", flaky[0].Err)
+	}
+	for _, s := range flaky[1:] {
+		if s.Err != nil {
+			t.Errorf("flaky round %d did not recover: %v", s.Round, s.Err)
+		}
+		if s.Result.Lo-pathload.DefaultResolution > 12e6 || s.Result.Hi+pathload.DefaultResolution < 12e6 {
+			t.Errorf("flaky round %d: recovered range [%.1f, %.1f] Mb/s misses avail 12",
+				s.Round, s.Result.Lo/1e6, s.Result.Hi/1e6)
+		}
+	}
+}
+
+// TestMonitorIdleErrorReachesSink: when the re-measurement gap itself
+// fails (a real transport losing its clock or socket), the session ends
+// — but not silently: the idle error is published as a sample to both
+// the sink and the channel, and other sessions are unaffected.
+func TestMonitorIdleErrorReachesSink(t *testing.T) {
+	// A sentinel gap the measurement's own inter-stream idles cannot
+	// collide with; Jitter 0 keeps it exact.
+	const gap = 1237 * time.Microsecond
+	sink := &recordingSink{}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  2,
+		Rounds:   3,
+		Interval: gap,
+		Seed:     3,
+		Config:   fastCfg(),
+		Store:    sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := errors.New("clock lost")
+	if err := m.AddPath("sleepless", &fakePath{avail: 9e6, idleFail: tick, idleFailOn: gap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("healthy", &fakePath{avail: 9e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for range m.Results() {
+	}
+	m.Wait()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if got := len(sink.byPath["healthy"]); got != 3 {
+		t.Errorf("healthy: %d rounds, want 3 (idle failure elsewhere leaked)", got)
+	}
+	got := sink.byPath["sleepless"]
+	if len(got) != 2 {
+		t.Fatalf("sleepless: sink saw %d samples, want 2 (round 0 + the idle error)", len(got))
+	}
+	if got[0].Err != nil {
+		t.Errorf("sleepless round 0 should succeed before the gap: %v", got[0].Err)
+	}
+	last := got[1]
+	if last.Round != 1 || !errors.Is(last.Err, tick) {
+		t.Errorf("idle failure sample = {round %d, err %v}, want round 1 wrapping %v", last.Round, last.Err, tick)
 	}
 }
