@@ -31,6 +31,16 @@
 // usual:
 //
 //	pathload -monitor -mesh star -paths 8 -rounds 3 -export :9090
+//
+// The fleet's re-measurement schedule is pluggable: -schedule adaptive
+// scales each path's gap by its recent windowed ρ (quiet paths probe
+// rarely, volatile paths often), -budget caps the fleet's aggregate
+// probe bit-rate with a token bucket (§VIII at scale), and -stagger
+// (with -mesh) keeps paths that share a tight link from measuring at
+// the same time:
+//
+//	pathload -monitor -paths 16 -rounds 5 -schedule adaptive -budget 2
+//	pathload -monitor -mesh star -paths 8 -rounds 3 -stagger
 package main
 
 import (
@@ -48,6 +58,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mesh"
 	"repro/internal/netsim"
+	"repro/internal/schedule"
 	"repro/internal/simprobe"
 	"repro/internal/tsstore"
 
@@ -69,14 +80,17 @@ func main() {
 		chi     = flag.Float64("chi", pathload.DefaultGreyResolution/1e6, "grey resolution χ, Mb/s")
 		verbose = flag.Bool("v", false, "log every fleet")
 
-		monitor  = flag.Bool("monitor", false, "monitor a fleet of single-hop paths instead of measuring one (honors -cap -util -model -sources -seed -k -n -omega -chi)")
-		paths    = flag.Int("paths", 16, "monitor: number of simulated paths")
-		rounds   = flag.Int("rounds", 3, "monitor: measurements per path (≥ 1)")
-		interval = flag.Duration("interval", 100*time.Millisecond, "monitor: re-measurement gap per path")
-		jitter   = flag.Float64("jitter", 0.3, "monitor: gap randomization fraction in [0,1]")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "monitor: max concurrent measurements")
-		export   = flag.String("export", "", "monitor: HTTP listen address for the time-series store (e.g. :9090); keeps serving after the fleet finishes, until interrupted")
-		meshName = flag.String("mesh", "", "monitor: run the fleet over a shared backbone instead of independent paths: star, chain, tree, disjoint (fixed shape parameters; ignores -cap -util -model -sources)")
+		monitor   = flag.Bool("monitor", false, "monitor a fleet of single-hop paths instead of measuring one (honors -cap -util -model -sources -seed -k -n -omega -chi)")
+		paths     = flag.Int("paths", 16, "monitor: number of simulated paths")
+		rounds    = flag.Int("rounds", 3, "monitor: measurements per path (≥ 1)")
+		interval  = flag.Duration("interval", 100*time.Millisecond, "monitor: re-measurement gap per path")
+		jitter    = flag.Float64("jitter", 0.3, "monitor: gap randomization fraction in [0,1]")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "monitor: max concurrent measurements")
+		export    = flag.String("export", "", "monitor: HTTP listen address for the time-series store (e.g. :9090); keeps serving after the fleet finishes, until interrupted")
+		meshName  = flag.String("mesh", "", "monitor: run the fleet over a shared backbone instead of independent paths: star, chain, tree, disjoint (fixed shape parameters; ignores -cap -util -model -sources)")
+		schedName = flag.String("schedule", "fixed", "monitor: re-measurement schedule: fixed (jittered -interval), adaptive (per-path gaps scaled by recent windowed ρ), budgeted (fixed under the -budget cap)")
+		budget    = flag.Float64("budget", 0, "monitor: aggregate probe bit-rate cap in Mb/s across the fleet (token bucket); wraps the chosen -schedule, required by -schedule budgeted")
+		stagger   = flag.Bool("stagger", false, "monitor: with -mesh, never co-measure paths that share a tight link (contention-aware admission)")
 	)
 	flag.Parse()
 
@@ -98,9 +112,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pathload: -monitor needs -rounds ≥ 1")
 			os.Exit(2)
 		}
+		if *stagger && *meshName == "" {
+			fmt.Fprintln(os.Stderr, "pathload: -stagger needs -mesh (the conflict graph comes from the shared backbone)")
+			os.Exit(2)
+		}
 		runMonitor(monitorOpts{
 			paths: *paths, rounds: *rounds, workers: *workers,
 			interval: *interval, jitter: *jitter, export: *export, mesh: *meshName,
+			schedule: *schedName, budget: *budget * 1e6, stagger: *stagger,
 			capMbps: *capMbps, util: *util, model: m, sources: *sources, seed: *seed,
 			measure: pathload.Config{
 				PacketsPerStream: *k,
@@ -168,11 +187,42 @@ type monitorOpts struct {
 	jitter                 float64
 	export                 string
 	mesh                   string
+	schedule               string
+	budget                 float64 // bits/s aggregate, 0 = uncapped
+	stagger                bool
 	capMbps, util          float64
 	model                  crosstraffic.Model
 	sources                int
 	seed                   int64
 	measure                pathload.Config
+}
+
+// scheduler builds the fleet's re-measurement schedule from the flags:
+// the named base schedule, wrapped in a token bucket when -budget caps
+// the fleet's aggregate probe bit-rate.
+func (o monitorOpts) scheduler() (schedule.Scheduler, error) {
+	var s schedule.Scheduler
+	switch o.schedule {
+	case "", "fixed":
+		s = nil // monitor default: Fixed from Interval/Jitter/Seed
+	case "adaptive":
+		s = &schedule.Adaptive{Base: o.interval, Window: 8 * o.interval}
+	case "budgeted":
+		if o.budget <= 0 {
+			return nil, fmt.Errorf("-schedule budgeted needs -budget > 0")
+		}
+		s = nil
+	default:
+		return nil, fmt.Errorf("unknown -schedule %q (have fixed, adaptive, budgeted)", o.schedule)
+	}
+	if o.budget > 0 {
+		inner := s
+		if inner == nil {
+			inner = &schedule.Fixed{Interval: o.interval, Jitter: o.jitter, Seed: o.seed}
+		}
+		s = &schedule.Budgeted{Inner: inner, Rate: o.budget}
+	}
+	return s, nil
 }
 
 // runMonitor builds the monitored fleet (independent single-hop shards
@@ -260,14 +310,26 @@ func runMonitor(o monitorOpts) {
 // links. It returns the wired (unstarted) monitor and the per-path
 // analytic avail-bw ground truth.
 func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[string]float64, error) {
+	sched, err := o.scheduler()
+	if err != nil {
+		return nil, nil, err
+	}
 	cfg := pathload.MonitorConfig{
-		Workers:  o.workers,
-		Rounds:   o.rounds,
-		Interval: o.interval,
-		Jitter:   o.jitter,
-		Seed:     o.seed,
-		Config:   o.measure,
-		Store:    store,
+		Workers:   o.workers,
+		Rounds:    o.rounds,
+		Interval:  o.interval,
+		Jitter:    o.jitter,
+		Seed:      o.seed,
+		Config:    o.measure,
+		Store:     store,
+		Scheduler: sched,
+	}
+	if o.schedule != "" && o.schedule != "fixed" || o.budget > 0 {
+		fmt.Printf("schedule: %s", o.schedule)
+		if o.budget > 0 {
+			fmt.Printf(" under a %.2f Mb/s aggregate probe budget", o.budget/1e6)
+		}
+		fmt.Println()
 	}
 	avail := map[string]float64{}
 
@@ -283,6 +345,12 @@ func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[str
 		m.Warmup(3 * netsim.Second)
 		for _, p := range m.Paths() {
 			avail[p.Name] = p.AvailBw()
+		}
+		if o.stagger {
+			// Contention-aware admission: the mesh knows which paths
+			// share a tight link; never measure two of them at once.
+			cfg.Admission = schedule.NewStagger(m.TightOverlaps(), o.workers)
+			fmt.Printf("admission: staggering tight-link-sharing paths (workers %d)\n", o.workers)
 		}
 		mon, err := m.MonitorFleet(cfg, 10*netsim.Millisecond)
 		if err != nil {

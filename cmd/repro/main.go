@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1-3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, baseline, timescale, scale, trajectory, contention")
+	fig := flag.String("fig", "", "figure to reproduce: 1-3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, baseline, timescale, scale, trajectory, contention, adaptive")
 	all := flag.Bool("all", false, "reproduce every figure")
 	scale := flag.Float64("scale", 1.0, "scale factor for run counts and measurement windows (1 = paper scale)")
 	seed := flag.Int64("seed", 1, "master random seed")
@@ -34,7 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	figs := []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "17", "baseline", "timescale", "scale", "trajectory", "contention"}
+	figs := []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "17", "baseline", "timescale", "scale", "trajectory", "contention", "adaptive"}
 	if !*all {
 		figs = strings.Split(*fig, ",")
 	}
@@ -65,6 +65,8 @@ func figLabel(f string) string {
 		return "avail-bw trajectories"
 	case "contention":
 		return "fleet self-interference"
+	case "adaptive":
+		return "adaptive scheduling"
 	default:
 		return "fig " + f
 	}
@@ -109,6 +111,8 @@ func render(f string, opt experiments.Options) (string, error) {
 		return experiments.RenderTrajectory(experiments.AvailBwTrajectory(opt)), nil
 	case "contention":
 		return experiments.RenderContention(experiments.Contention(opt)), nil
+	case "adaptive":
+		return experiments.RenderAdaptive(experiments.AdaptiveSchedule(opt)), nil
 	default:
 		return "", fmt.Errorf("unknown figure %q", f)
 	}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// adaptOpt keeps the scheduler comparison fast while leaving every
+// schedule enough rounds per window for the tracking criteria.
+var adaptOpt = Options{Scale: 0.25, Seed: 1}
+
+// TestAdaptiveSchedule is the scheduler comparison's contract: over the
+// same horizon on identical fleets, the ρ-adaptive schedule must spend
+// measurably fewer probe bits than the fixed one while every path still
+// tracks the mid-run load step, and the budgeted schedule must hold
+// aggregate probe bit-rate under the configured cap in every window.
+func TestAdaptiveSchedule(t *testing.T) {
+	r := AdaptiveSchedule(adaptOpt)
+
+	for _, o := range r.Outcomes() {
+		if len(o.Paths) != AdaptiveSchedulePaths {
+			t.Fatalf("%s: %d paths, want %d", o.Name, len(o.Paths), AdaptiveSchedulePaths)
+		}
+		vols := 0
+		for _, p := range o.Paths {
+			if p.Volatile {
+				vols++
+			}
+			if p.Rounds < 2 {
+				t.Errorf("%s %s: only %d rounds in the horizon", o.Name, p.Path, p.Rounds)
+			}
+			if p.StepAt <= 0 {
+				t.Errorf("%s %s: load step never fired", o.Name, p.Path)
+			}
+			if p.Bits <= 0 {
+				t.Errorf("%s %s: no probe load accounted", o.Name, p.Path)
+			}
+		}
+		if vols != 2 {
+			t.Errorf("%s: %d volatile paths, want 2", o.Name, vols)
+		}
+		if len(o.Windows) == 0 {
+			t.Errorf("%s: no budget windows", o.Name)
+		}
+	}
+
+	// The headline claim: adaptive cuts probe load without losing the
+	// step on any path.
+	if r.Adaptive.Bits() >= r.Fixed.Bits() {
+		t.Errorf("adaptive spent %.1f Mb, fixed %.1f — no savings", r.Adaptive.Bits()/1e6, r.Fixed.Bits()/1e6)
+	}
+	if got := r.Adaptive.TrackedPaths(); got != AdaptiveSchedulePaths {
+		t.Errorf("adaptive tracked %d/%d paths", got, AdaptiveSchedulePaths)
+	}
+
+	// The budget claim: every window under the advertised cap, and the
+	// bucket actually binding (fixed exceeds the cap, budgeted spends
+	// less than fixed).
+	if r.BudgetRate <= 0 {
+		t.Fatal("no budget cap derived")
+	}
+	for _, w := range r.Budgeted.Windows {
+		if w.Rate() > r.BudgetRate {
+			t.Errorf("budgeted window [%v, %v): %.2f Mb/s exceeds the %.2f Mb/s cap",
+				w.From, w.To, w.Rate()/1e6, r.BudgetRate/1e6)
+		}
+	}
+	if r.Fixed.MaxWindowRate() <= r.BudgetRate {
+		t.Errorf("cap %.2f Mb/s does not bind: fixed peaked at only %.2f",
+			r.BudgetRate/1e6, r.Fixed.MaxWindowRate()/1e6)
+	}
+	if r.Budgeted.Bits() >= r.Fixed.Bits() {
+		t.Errorf("budgeted spent %.1f Mb, fixed %.1f — bucket never stretched a gap",
+			r.Budgeted.Bits()/1e6, r.Fixed.Bits()/1e6)
+	}
+
+	out := RenderAdaptive(r)
+	for _, want := range []string{"schedule=fixed", "schedule=adaptive", "schedule=budgeted",
+		"volatile", "quiet", "saved", "under cap", "path-05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeterminismAdaptiveSchedule: identical Options must render
+// byte-identically regardless of host scheduling — the determinism
+// contract extended through the scheduler feedback loop (store → ρ →
+// gap) and the budget bucket. CI runs this with -race -count=2.
+func TestDeterminismAdaptiveSchedule(t *testing.T) {
+	a := RenderAdaptive(AdaptiveSchedule(adaptOpt))
+	b := RenderAdaptive(AdaptiveSchedule(adaptOpt))
+	if a != b {
+		t.Fatalf("two identical runs rendered differently:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

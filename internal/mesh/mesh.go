@@ -267,6 +267,56 @@ func (m *Mesh) StopTraffic() {
 	}
 }
 
+// Overlaps returns the fleet's path-overlap graph: for every path, the
+// sibling paths it shares at least one link with, sorted, in a map
+// keyed by path name. Paths with no overlaps map to nil — the graph is
+// what a contention-aware layer consults to know which sessions can
+// interfere at all.
+func (m *Mesh) Overlaps() map[string][]string {
+	return m.overlapGraph(func(a, b *Path) bool { return a.Overlap(b) > 0 })
+}
+
+// TightOverlaps restricts the overlap graph to pairs sharing a link
+// that is the tight link of at least one of the two paths — the pairs
+// whose co-probing lands contention exactly on a hop being estimated,
+// the bias the contention experiment measures at ≈ −3 Mb/s. Feed it to
+// schedule.NewStagger to keep those sessions from measuring at once.
+func (m *Mesh) TightOverlaps() map[string][]string {
+	return m.overlapGraph(func(a, b *Path) bool {
+		ta, tb := a.LinkNames[a.TightIdx], b.LinkNames[b.TightIdx]
+		for _, n := range b.LinkNames {
+			if n == ta {
+				return true
+			}
+		}
+		for _, n := range a.LinkNames {
+			if n == tb {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// overlapGraph builds an adjacency map over the fleet's paths using
+// the given pair predicate. Neighbor lists follow spec (path) order,
+// so the graph is deterministic.
+func (m *Mesh) overlapGraph(conflict func(a, b *Path) bool) map[string][]string {
+	g := make(map[string][]string, len(m.paths))
+	for _, p := range m.paths {
+		g[p.Name] = nil
+	}
+	for i, a := range m.paths {
+		for _, b := range m.paths[i+1:] {
+			if conflict(a, b) {
+				g[a.Name] = append(g[a.Name], b.Name)
+				g[b.Name] = append(g[b.Name], a.Name)
+			}
+		}
+	}
+	return g
+}
+
 // SequencedProbers creates one deterministic co-scheduled prober per
 // path, in path order, all on the mesh's simulator. Drive the returned
 // sequencer while one goroutine per prober measures; the fleet's

@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -362,5 +363,59 @@ func TestMonitorFleetOverMesh(t *testing.T) {
 	// MonitorFleet must reject a broken config rather than half-wire it.
 	if _, err := m.MonitorFleet(pathload.MonitorConfig{Jitter: 2}, 0); err == nil {
 		t.Error("invalid monitor config accepted")
+	}
+}
+
+// TestOverlapGraphs pins the exported path-overlap graphs on the
+// canonical shapes: Overlaps counts any shared link, TightOverlaps only
+// links tight for at least one endpoint — the distinction the chain
+// shape exists to exercise.
+func TestOverlapGraphs(t *testing.T) {
+	adj := func(g map[string][]string, p string) string {
+		return fmt.Sprintf("%v", g[p])
+	}
+
+	// Star: one shared core, tight for everyone — both graphs are the
+	// complete graph.
+	star := Star(3, 1).MustBuild()
+	for _, g := range []map[string][]string{star.Overlaps(), star.TightOverlaps()} {
+		if got := adj(g, "path-01"); got != "[path-00 path-02]" {
+			t.Errorf("star path-01 overlaps %s, want [path-00 path-02]", got)
+		}
+	}
+
+	// Chain of 3: neighbors share a hop, but only the path-01/path-02
+	// pair shares a link (hop-02) that is tight for either of them —
+	// path-00 and path-01 share the quiet hop-01.
+	chain := Chain(3, 1).MustBuild()
+	over, tight := chain.Overlaps(), chain.TightOverlaps()
+	if got := adj(over, "path-01"); got != "[path-00 path-02]" {
+		t.Errorf("chain path-01 overlaps %s, want both neighbors", got)
+	}
+	if got := adj(tight, "path-01"); got != "[path-02]" {
+		t.Errorf("chain path-01 tight-overlaps %s, want only path-02 (hop-01 is quiet)", got)
+	}
+	if got := adj(tight, "path-00"); got != "[]" {
+		t.Errorf("chain path-00 tight-overlaps %s, want none", got)
+	}
+
+	// Disjoint: no shared links at all, but every path still appears in
+	// the map (schedule.NewStagger wants the full roster shape).
+	dis := Disjoint(3, 1).MustBuild()
+	g := dis.Overlaps()
+	if len(g) != 3 {
+		t.Fatalf("disjoint graph has %d entries, want 3", len(g))
+	}
+	for p, n := range g {
+		if len(n) != 0 {
+			t.Errorf("disjoint %s overlaps %v, want none", p, n)
+		}
+	}
+
+	// Tree: the root is tight for every path, so TightOverlaps is
+	// complete even across aggregation groups.
+	tree := Tree(4, 1).MustBuild()
+	if got := adj(tree.TightOverlaps(), "path-00"); got != "[path-01 path-02 path-03]" {
+		t.Errorf("tree path-00 tight-overlaps %s, want all siblings", got)
 	}
 }

@@ -65,6 +65,10 @@ type Point struct {
 	// Lo and Hi bracket the measured avail-bw variation range, bits/s
 	// (the paper's [Rmin, Rmax]); both are 0 for failed rounds.
 	Lo, Hi float64
+	// Bits is the probe load the round injected (§VIII intrusiveness
+	// accounting), recorded for failed rounds too — budget analyses
+	// need the cost of every round, not just the useful ones.
+	Bits float64
 	// Err is the measurement error text for failed rounds, "" for
 	// successful ones.
 	Err string
@@ -148,10 +152,11 @@ func New(cfg Config) *Store {
 // Points with Err set): a gap in a path's series is itself signal
 // (§VI: an unmeasurable path is a dynamics event, not a non-event).
 func (st *Store) Observe(s pathload.Sample) {
-	// Span is copied even for failed rounds: Run reports the probing
-	// time it consumed before the error, and the monitor advances the
-	// path clock by it, so dropping it would leave timeline gaps.
-	p := Point{Round: s.Round, At: s.At, Wall: s.Wall, Span: s.Result.Elapsed}
+	// Span and Bits are copied even for failed rounds: Run reports the
+	// probing time and load it consumed before the error, and the
+	// monitor advances the path clock by the former, so dropping them
+	// would leave timeline gaps and under-count probe cost.
+	p := Point{Round: s.Round, At: s.At, Wall: s.Wall, Span: s.Result.Elapsed, Bits: s.Result.Bits}
 	if s.Err != nil {
 		p.Err = s.Err.Error()
 	} else {
@@ -233,6 +238,53 @@ func (st *Store) Query(path string, from, to time.Duration) []Point {
 		}
 	}
 	return out
+}
+
+// RelVar returns the windowed relative variation ρ of the path's
+// series over the trailing window of path-local time: the widest
+// [MinLo, MaxHi] the process visited across the retained points whose
+// measurement start lies within window of the path's most recent
+// point, over that range's center (the §VI-B long-timescale ρ). A
+// non-positive window covers the whole retained series. ok is false
+// for unknown paths and windows with no successful rounds.
+//
+// This is the scheduler feedback query (schedule.VarSource): an
+// Adaptive scheduler reads each path's recent ρ back from the store
+// the monitor feeds, closing the tsstore → scheduler loop, so quiet
+// paths probe rarely and volatile paths often.
+func (st *Store) RelVar(path string, window time.Duration) (rho float64, ok bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil || se.n == 0 {
+		return 0, false
+	}
+	from := time.Duration(-1 << 62)
+	if window > 0 {
+		from = se.at(se.n-1).At - window
+	}
+	var minLo, maxHi float64
+	seen := false
+	for i := 0; i < se.n; i++ {
+		p := se.at(i)
+		if !p.OK() || p.At < from {
+			continue
+		}
+		if !seen {
+			minLo, maxHi, seen = p.Lo, p.Hi, true
+			continue
+		}
+		minLo = math.Min(minLo, p.Lo)
+		maxHi = math.Max(maxHi, p.Hi)
+	}
+	if !seen {
+		return 0, false
+	}
+	c := (maxHi + minLo) / 2
+	if c == 0 {
+		return 0, true
+	}
+	return (maxHi - minLo) / c, true
 }
 
 // Quantile returns the q-th quantile of the path's mid-range avail-bw

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/schedule"
 	"repro/internal/tsstore"
 
 	pathload "repro"
@@ -232,4 +233,66 @@ func BenchmarkStoreObserveParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// TestRelVarFeedbackQuery pins the scheduler feedback edge: the
+// windowed ρ over the trailing window of path-local time, implementing
+// schedule.VarSource.
+func TestRelVarFeedbackQuery(t *testing.T) {
+	var _ schedule.VarSource = tsstore.New(tsstore.Config{})
+
+	st := tsstore.New(tsstore.Config{})
+	if _, ok := st.RelVar("ghost", 0); ok {
+		t.Error("unknown path answered a ρ query")
+	}
+
+	// A volatile early history, then a quiet recent stretch: the full
+	// series has a wide envelope, the trailing window a narrow one.
+	st.Observe(sample("p", 0, 0, 2e6, 12e6))
+	st.Observe(sample("p", 1, 1*time.Second, 4e6, 10e6))
+	st.Observe(sample("p", 2, 10*time.Second, 6.8e6, 7.0e6))
+	st.Observe(sample("p", 3, 11*time.Second, 6.9e6, 7.3e6))
+
+	// Whole series: [2, 12] Mb/s around a 7 Mb/s center → ρ = 10/7.
+	rho, ok := st.RelVar("p", 0)
+	if !ok || math.Abs(rho-10.0/7.0) > 1e-9 {
+		t.Errorf("full-series ρ = %v ok %v, want 10/7", rho, ok)
+	}
+	// Trailing 2s (anchored at the last point's At = 11s): only the two
+	// quiet points → [6.8, 7.3] around 7.05 → ρ = 0.5/7.05.
+	rho, ok = st.RelVar("p", 2*time.Second)
+	if !ok || math.Abs(rho-0.5/7.05) > 1e-9 {
+		t.Errorf("trailing ρ = %v ok %v, want 0.5/7.05", rho, ok)
+	}
+
+	// Error rounds carry no range: a window holding only failures has
+	// no feedback.
+	st.Observe(pathload.Sample{Path: "q", Round: 0, At: 0, Err: errors.New("down")})
+	if _, ok := st.RelVar("q", 0); ok {
+		t.Error("all-error series answered a ρ query")
+	}
+	// But errors inside a mixed window are skipped, not fatal.
+	st.Observe(sample("q", 1, time.Second, 5e6, 5e6))
+	rho, ok = st.RelVar("q", 0)
+	if !ok || rho != 0 {
+		t.Errorf("degenerate one-point window: ρ = %v ok %v, want 0 true", rho, ok)
+	}
+}
+
+// TestPointBitsRetained: the probe-load cost of every round — failed
+// ones included — survives into the stored series.
+func TestPointBitsRetained(t *testing.T) {
+	st := tsstore.New(tsstore.Config{})
+	s := sample("p", 0, 0, 4e6, 6e6)
+	s.Result.Bits = 123456
+	st.Observe(s)
+	st.Observe(pathload.Sample{
+		Path: "p", Round: 1, At: time.Second,
+		Result: pathload.Result{Elapsed: time.Millisecond, Bits: 789},
+		Err:    errors.New("mid-round failure"),
+	})
+	pts := st.Snapshot("p")
+	if len(pts) != 2 || pts[0].Bits != 123456 || pts[1].Bits != 789 {
+		t.Fatalf("stored Bits = %v, want [123456 789]", []float64{pts[0].Bits, pts[1].Bits})
+	}
 }

@@ -2,10 +2,10 @@ package pathload
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/schedule"
 )
 
 // Monitor defaults.
@@ -46,8 +46,22 @@ type MonitorConfig struct {
 	// Store, when non-nil, additionally receives every sample the
 	// monitor produces, before the Results channel sees it. Use it to
 	// retain time series (internal/tsstore) without giving up the live
-	// channel.
+	// channel. When the sink also implements schedule.VarSource (as
+	// internal/tsstore.Store does), schedulers get windowed-ρ feedback
+	// from it.
 	Store SampleSink
+	// Scheduler decides each path's re-measurement gap. nil selects
+	// schedule.Fixed{Interval, Jitter, Seed} — byte-identical to the
+	// monitor's original jittered schedule. A scheduler that reports
+	// ok == false ends that path's session cleanly (its schedule is
+	// exhausted), independent of Rounds.
+	Scheduler schedule.Scheduler
+	// Admission gates measurement starts across the fleet. nil selects
+	// schedule.NewWorkers(Workers), the original bounded worker pool;
+	// schedule.NewStagger keeps paths that share a tight link from
+	// co-probing (feed it mesh.Mesh.TightOverlaps). When Admission is
+	// set, Workers only applies through the policy itself.
+	Admission schedule.Admission
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -71,7 +85,7 @@ func (c MonitorConfig) validate() error {
 	if c.Jitter < 0 || c.Jitter > 1 {
 		return fmt.Errorf("pathload: monitor Jitter %v outside [0,1]", c.Jitter)
 	}
-	return nil
+	return schedule.Validate(c.Scheduler)
 }
 
 // A Sample is one timestamped point of a path's avail-bw time series.
@@ -122,15 +136,38 @@ type SampleSink interface {
 type session struct {
 	id     string
 	prober Prober
-	rng    *rand.Rand // jitter stream, derived from Seed and id
+	hist   sessionHistory // scheduler feedback, maintained by run
+}
+
+// sessionHistory implements schedule.History for one session: the last
+// finished round comes from the session's own state (always available,
+// only ever touched from the session goroutine), windowed-ρ queries are
+// answered by the configured Store when it can (tsstore), and report
+// ok == false otherwise.
+type sessionHistory struct {
+	last     schedule.Round
+	haveLast bool
+	vars     schedule.VarSource // nil when the Store cannot answer
+}
+
+func (h *sessionHistory) LastRound(string) (schedule.Round, bool) { return h.last, h.haveLast }
+
+func (h *sessionHistory) RelVar(path string, window time.Duration) (float64, bool) {
+	if h.vars == nil {
+		return 0, false
+	}
+	return h.vars.RelVar(path, window)
 }
 
 // A Monitor measures many paths concurrently and periodically, turning
 // one-shot Run calls into streaming per-path avail-bw time series — the
 // paper's "dynamics" viewpoint operationalized (§VI): each path gets a
-// session that re-measures on a jittered interval, a bounded worker
-// pool caps how many paths probe simultaneously, and every finished
-// round is published on Results as a timestamped Sample.
+// session whose re-measurement gaps come from a pluggable Scheduler
+// (internal/schedule: fixed jittered intervals by default, ρ-adaptive
+// or budgeted alternatives), an Admission policy gates how sessions
+// probe simultaneously (a bounded worker pool by default, tight-link
+// staggering optionally), and every finished round is published on
+// Results as a timestamped Sample.
 //
 // Each path's Prober is only ever driven from that path's session
 // goroutine, satisfying the Prober single-goroutine contract; paths
@@ -148,7 +185,8 @@ type Monitor struct {
 	sessions []*session
 	byID     map[string]bool
 	results  chan Sample
-	sem      chan struct{} // worker pool slots
+	sched    schedule.Scheduler
+	adm      schedule.Admission
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -210,14 +248,27 @@ func (m *Monitor) Start() error {
 	m.started = true
 	m.cfg = m.cfg.withDefaults(len(m.sessions))
 	m.results = make(chan Sample, m.cfg.Buffer)
-	m.sem = make(chan struct{}, m.cfg.Workers)
+	m.sched = m.cfg.Scheduler
+	if m.sched == nil {
+		// The original schedule: jittered Interval, per-path streams
+		// derived from Seed and the path name (not registration order),
+		// so adding a path does not reshuffle the others' schedules.
+		m.sched = &schedule.Fixed{Interval: m.cfg.Interval, Jitter: m.cfg.Jitter, Seed: m.cfg.Seed}
+	}
+	if b, ok := m.sched.(schedule.FleetBinder); ok {
+		ids := make([]string, len(m.sessions))
+		for i, s := range m.sessions {
+			ids[i] = s.id
+		}
+		b.Bind(ids)
+	}
+	m.adm = m.cfg.Admission
+	if m.adm == nil {
+		m.adm = schedule.NewWorkers(m.cfg.Workers)
+	}
+	vars, _ := m.cfg.Store.(schedule.VarSource)
 	for _, s := range m.sessions {
-		// Derive the jitter stream from the seed and the path name, not
-		// the registration order, so adding a path does not reshuffle
-		// the others' schedules.
-		h := fnv.New64a()
-		h.Write([]byte(s.id))
-		s.rng = rand.New(rand.NewSource(m.cfg.Seed ^ int64(h.Sum64())))
+		s.hist.vars = vars
 		m.wg.Add(1)
 		go m.run(s)
 	}
@@ -249,33 +300,22 @@ func (m *Monitor) Stop() {
 // only happens after Stop.
 func (m *Monitor) Wait() { m.wg.Wait() }
 
-// gap returns the next jittered re-measurement gap for s.
-func (m *Monitor) gap(s *session) time.Duration {
-	if m.cfg.Interval <= 0 {
-		return 0
-	}
-	if m.cfg.Jitter == 0 {
-		return m.cfg.Interval
-	}
-	f := 1 + m.cfg.Jitter*(2*s.rng.Float64()-1)
-	return time.Duration(f * float64(m.cfg.Interval))
-}
-
-// run is one path's session loop: acquire a worker slot, measure,
-// publish, idle, repeat.
+// run is one path's session loop: pass admission, measure, publish,
+// ask the scheduler for the next gap, idle, repeat.
 func (m *Monitor) run(s *session) {
 	defer m.wg.Done()
 	var at time.Duration
 	for round := 0; m.cfg.Rounds == 0 || round < m.cfg.Rounds; round++ {
-		select {
-		case m.sem <- struct{}{}:
-		case <-m.stop:
+		release, ok := m.adm.Acquire(s.id, m.stop)
+		if !ok {
 			return
 		}
 		res, err := Run(s.prober, m.cfg.Config)
-		<-m.sem
+		release()
 
 		sample := Sample{Path: s.id, Round: round, At: at, Wall: time.Now(), Result: res, Err: err}
+		s.hist.last = schedule.Round{Round: round, At: at, Span: res.Elapsed, Bits: res.Bits, Err: err != nil}
+		s.hist.haveLast = true
 		at += res.Elapsed
 		if m.cfg.Store != nil {
 			m.cfg.Store.Observe(sample)
@@ -301,7 +341,11 @@ func (m *Monitor) run(s *session) {
 			return
 		default:
 		}
-		if gap := m.gap(s); gap > 0 {
+		gap, ok := m.sched.Next(s.id, &s.hist)
+		if !ok {
+			return // schedule exhausted: the session ends cleanly
+		}
+		if gap > 0 {
 			if err := s.prober.Idle(gap); err != nil {
 				idleErr := Sample{Path: s.id, Round: round + 1, At: at, Wall: time.Now(), Err: fmt.Errorf("pathload: idle: %w", err)}
 				if m.cfg.Store != nil {

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/schedule"
+
 	pathload "repro"
 )
 
@@ -430,6 +432,167 @@ func TestMonitorErrorRoundsFeedSinkAndRecover(t *testing.T) {
 			t.Errorf("flaky round %d: recovered range [%.1f, %.1f] Mb/s misses avail 12",
 				s.Round, s.Result.Lo/1e6, s.Result.Hi/1e6)
 		}
+	}
+}
+
+// TestMonitorDefaultSchedulerIsFixed: a nil Scheduler and an explicit
+// schedule.Fixed built from the same Interval/Jitter/Seed must produce
+// identical per-path timelines — the refactor's compatibility contract.
+func TestMonitorDefaultSchedulerIsFixed(t *testing.T) {
+	run := func(sched schedule.Scheduler) map[string][]time.Duration {
+		m, err := pathload.NewMonitor(pathload.MonitorConfig{
+			Workers:   2,
+			Rounds:    4,
+			Interval:  20 * time.Millisecond,
+			Jitter:    0.7,
+			Seed:      13,
+			Config:    fastCfg(),
+			Scheduler: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := m.AddPath(fmt.Sprintf("p%d", i), &fakePath{avail: float64(i+2) * 4e6}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+		ats := map[string][]time.Duration{}
+		for s := range m.Results() {
+			if s.Err != nil {
+				t.Fatal(s.Err)
+			}
+			ats[s.Path] = append(ats[s.Path], s.At)
+		}
+		m.Wait()
+		for _, a := range ats {
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		}
+		return ats
+	}
+
+	def := run(nil)
+	fixed := run(&schedule.Fixed{Interval: 20 * time.Millisecond, Jitter: 0.7, Seed: 13})
+	if len(def) != len(fixed) {
+		t.Fatalf("path counts differ: %d vs %d", len(def), len(fixed))
+	}
+	for p, want := range def {
+		got := fixed[p]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rounds with Fixed, %d with nil", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s round %d: At %v with Fixed, %v with nil scheduler", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// countdownScheduler ends every session after its first n gaps.
+type countdownScheduler struct {
+	mu   sync.Mutex
+	left map[string]int
+	n    int
+}
+
+func (c *countdownScheduler) Next(path string, _ schedule.History) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left == nil {
+		c.left = map[string]int{}
+	}
+	if _, seen := c.left[path]; !seen {
+		c.left[path] = c.n
+	}
+	if c.left[path] == 0 {
+		return 0, false
+	}
+	c.left[path]--
+	return 0, true
+}
+
+// TestMonitorSchedulerEndsSession: a scheduler reporting ok == false
+// ends the session cleanly — fewer rounds than Rounds, no error
+// samples, results channel still closes.
+func TestMonitorSchedulerEndsSession(t *testing.T) {
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds:    10,
+		Config:    fastCfg(),
+		Scheduler: &countdownScheduler{n: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.AddPath(fmt.Sprintf("p%d", i), &fakePath{avail: 9e6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	perPath := map[string]int{}
+	for s := range m.Results() {
+		if s.Err != nil {
+			t.Fatal(s.Err)
+		}
+		perPath[s.Path]++
+	}
+	m.Wait()
+	for p, n := range perPath {
+		// 1 first round + 2 scheduler-granted gaps = 3 rounds.
+		if n != 3 {
+			t.Errorf("%s: %d rounds, want 3 (schedule exhausted)", p, n)
+		}
+	}
+}
+
+// TestMonitorStaggerAdmission: with a Stagger admission policy built
+// from a conflict graph, conflicting paths never measure concurrently
+// while a free path still overlaps with them; every round is still
+// delivered.
+func TestMonitorStaggerAdmission(t *testing.T) {
+	var pairInflight, pairMax, freeInflight, freeMax int32
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds: 3,
+		Config: fastCfg(),
+		Admission: schedule.NewStagger(map[string][]string{
+			"a": {"b"},
+		}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := 300 * time.Microsecond
+	if err := m.AddPath("a", &fakePath{avail: 8e6, inflight: &pairInflight, maxSeen: &pairMax, delay: delay}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("b", &fakePath{avail: 8e6, inflight: &pairInflight, maxSeen: &pairMax, delay: delay}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("free", &fakePath{avail: 8e6, inflight: &freeInflight, maxSeen: &freeMax, delay: delay}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for s := range m.Results() {
+		if s.Err != nil {
+			t.Fatal(s.Err)
+		}
+		n++
+	}
+	m.Wait()
+	if n != 9 {
+		t.Fatalf("%d samples, want 9", n)
+	}
+	if got := atomic.LoadInt32(&pairMax); got > 1 {
+		t.Errorf("conflicting paths a and b had %d streams in flight at once, want ≤ 1", got)
 	}
 }
 

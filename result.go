@@ -99,6 +99,12 @@ type Result struct {
 	// Elapsed is the probing time consumed: stream durations plus
 	// inter-stream idles (virtual time under the simulator).
 	Elapsed time.Duration
+	// Bits is the probe load injected into the path: every packet the
+	// sender actually emitted (init stream and fleet streams alike)
+	// times its wire size, in bits. Like Elapsed it is reported even
+	// when the run errors, so schedulers and budget accounting see the
+	// true cost of failed rounds (§VIII intrusiveness).
+	Bits float64
 }
 
 // Mid returns the center of the reported range.

@@ -21,8 +21,9 @@ func Run(p Prober, cfg Config) (Result, error) {
 
 	var res Result
 	if !cfg.DisableInitProbe {
-		adr, elapsed, err := initProbe(p, cfg)
+		adr, elapsed, bits, err := initProbe(p, cfg)
 		res.Elapsed += elapsed
+		res.Bits += bits
 		if err != nil {
 			return res, fmt.Errorf("pathload: init probe: %w", err)
 		}
@@ -33,6 +34,15 @@ func Run(p Prober, cfg Config) (Result, error) {
 			}
 			if cfg.MinRate >= cfg.MaxRate {
 				cfg.MinRate = 0
+			}
+			if cfg.InitialRate != 0 && (cfg.InitialRate <= cfg.MinRate || cfg.InitialRate >= cfg.MaxRate) {
+				// The measured ADR can pull MaxRate below a user-supplied
+				// InitialRate that validated fine against the static
+				// bounds; zero it — like MinRate above — so the
+				// controller falls back to the bracket midpoint instead
+				// of rejecting a config the user could not have known
+				// was stale.
+				cfg.InitialRate = 0
 			}
 		}
 	}
@@ -45,7 +55,10 @@ func Run(p Prober, cfg Config) (Result, error) {
 		InitialRate:    cfg.InitialRate,
 	})
 	if err != nil {
-		return Result{}, err
+		// res already carries the init probe's Elapsed, Bits, and ADR;
+		// callers (and the Monitor's path-local clock) rely on errored
+		// runs reporting the probing time they consumed.
+		return res, err
 	}
 
 	trendCfg := core.TrendConfig{
@@ -60,8 +73,9 @@ func Run(p Prober, cfg Config) (Result, error) {
 
 	for fleet := 0; !ctrl.Done() && fleet < cfg.MaxFleets; fleet++ {
 		rate := ctrl.Rate()
-		trace, verdict, elapsed, err := runFleet(p, cfg, trendCfg, fleet, rate)
+		trace, verdict, elapsed, bits, err := runFleet(p, cfg, trendCfg, fleet, rate)
 		res.Elapsed += elapsed
+		res.Bits += bits
 		if err != nil {
 			return res, fmt.Errorf("pathload: fleet %d at %.2f Mb/s: %w", fleet, rate/1e6, err)
 		}
@@ -82,39 +96,47 @@ func Run(p Prober, cfg Config) (Result, error) {
 // between the first and last arrival. In the fluid model the ADR of a
 // saturating train satisfies A ≤ ADR ≤ C, so it upper-bounds the
 // avail-bw search.
-func initProbe(p Prober, cfg Config) (adr float64, elapsed time.Duration, err error) {
+func initProbe(p Prober, cfg Config) (adr float64, elapsed time.Duration, bits float64, err error) {
 	rate := cfg.GenerationLimit()
 	l, t := cfg.StreamParams(rate)
 	k := cfg.InitProbePackets
 	spec := StreamSpec{Rate: rate, K: k, L: l, T: t, Fleet: -1}
 	sr, err := p.SendStream(spec)
 	elapsed = spec.Duration()
+	bits = float64(sr.Sent*l) * 8
 	if err != nil {
-		return 0, elapsed, err
+		return 0, elapsed, bits, err
 	}
 	if idle := p.RTT(); idle > 0 {
 		if err := p.Idle(idle); err != nil {
-			return 0, elapsed, err
+			return 0, elapsed, bits, err
 		}
 		elapsed += idle
 	}
 	if len(sr.OWDs) < 2 {
-		return 0, elapsed, nil // unusable train; keep the configured MaxRate
+		return 0, elapsed, bits, nil // unusable train; keep the configured MaxRate
 	}
 	first, last := sr.OWDs[0], sr.OWDs[len(sr.OWDs)-1]
 	span := time.Duration(last.Seq-first.Seq)*t + (last.OWD - first.OWD)
 	if span <= 0 {
-		return 0, elapsed, nil
+		return 0, elapsed, bits, nil
 	}
-	bits := float64(last.Seq-first.Seq) * float64(l) * 8
-	return bits / span.Seconds(), elapsed, nil
+	dispersed := float64(last.Seq-first.Seq) * float64(l) * 8
+	return dispersed / span.Seconds(), elapsed, bits, nil
 }
 
 // runFleet emits one fleet of N streams at the given rate and reduces
-// it to a verdict. It aborts early — per the paper's loss policy — when
-// a stream loses more than StreamAbortLoss of its packets or when more
-// than half the streams so far are moderately lossy.
-func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate float64) (FleetTrace, Verdict, time.Duration, error) {
+// it to a verdict. It aborts early — per the paper's loss policy (§IV):
+// losses mean the probing rate overloads the path, so the fleet stops
+// instead of probing on — when a single stream loses more than
+// StreamAbortLoss of its packets, or when at least two streams and a
+// strict majority of the streams sent so far are moderately lossy. The
+// paper states the moderate-loss rule over the whole fleet; evaluating
+// it online over the streams sent so far aborts at the earliest point a
+// majority is established (cutting wasted probe load, §VIII), while the
+// two-stream quorum keeps one unlucky stream from condemning a fleet
+// that ModerateLoss is meant to tolerate.
+func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate float64) (FleetTrace, Verdict, time.Duration, float64, error) {
 	l, t := cfg.StreamParams(rate)
 	tau := time.Duration(cfg.PacketsPerStream) * t
 	delta := time.Duration(cfg.InterStreamRTTs) * tau
@@ -124,6 +146,7 @@ func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate f
 
 	trace := FleetTrace{Rate: rate, L: l, T: t, Delta: delta}
 	var elapsed time.Duration
+	var bits float64
 	var kinds []core.StreamType
 	moderatelyLossy := 0
 	aborted := false
@@ -132,8 +155,9 @@ func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate f
 		spec := StreamSpec{Rate: rate, K: cfg.PacketsPerStream, L: l, T: t, Fleet: fleet, Index: i}
 		sr, err := p.SendStream(spec)
 		elapsed += tau
+		bits += float64(sr.Sent*spec.L) * 8
 		if err != nil {
-			return trace, FleetAborted, elapsed, err
+			return trace, FleetAborted, elapsed, bits, err
 		}
 
 		st := StreamTrace{Loss: sr.LossRate()}
@@ -152,7 +176,10 @@ func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate f
 		}
 		if !aborted && sr.LossRate() > cfg.ModerateLoss {
 			moderatelyLossy++
-			if 2*moderatelyLossy > cfg.StreamsPerFleet {
+			// At least two, and more than half, of the i+1 streams so
+			// far are moderately lossy: the fleet majority is already
+			// established, abort now rather than at stream N.
+			if moderatelyLossy >= 2 && 2*moderatelyLossy > i+1 {
 				aborted = true
 			}
 		}
@@ -165,7 +192,7 @@ func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate f
 		}
 		if i < cfg.StreamsPerFleet-1 {
 			if err := p.Idle(delta); err != nil {
-				return trace, FleetAborted, elapsed, err
+				return trace, FleetAborted, elapsed, bits, err
 			}
 			elapsed += delta
 		}
@@ -178,7 +205,7 @@ func runFleet(p Prober, cfg Config, trendCfg core.TrendConfig, fleet int, rate f
 		verdict = fleetVerdict(core.ClassifyFleet(kinds, cfg.FleetFraction))
 	}
 	trace.Verdict = verdict
-	return trace, verdict, elapsed, nil
+	return trace, verdict, elapsed, bits, nil
 }
 
 // streamKind converts the core stream verdict to the public enum.

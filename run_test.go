@@ -1,0 +1,161 @@
+package pathload_test
+
+import (
+	"testing"
+	"time"
+
+	pathload "repro"
+)
+
+// TestRunControllerErrorKeepsPartialResult: when the controller rejects
+// the (post-init-probe) configuration, Run must still report the init
+// probe's cost — Elapsed, Bits, and the measured ADR — because the
+// Monitor advances its path-local clock by Result.Elapsed on errored
+// rounds and tsstore documents that contract ("Run reports the probing
+// time it consumed before the error").
+func TestRunControllerErrorKeepsPartialResult(t *testing.T) {
+	p := &fakePath{avail: 5e6}
+	// A negative Resolution slips through config validation (only zero
+	// is replaced by the default) and is rejected by the controller —
+	// after the init probe has already spent probing time.
+	res, err := pathload.Run(p, pathload.Config{Resolution: -1})
+	if err == nil {
+		t.Fatal("negative Resolution accepted")
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("errored run reports Elapsed = %v, want the init probe's probing time", res.Elapsed)
+	}
+	if res.ADR <= 0 {
+		t.Errorf("errored run reports ADR = %v, want the init probe's measurement", res.ADR)
+	}
+	if res.Bits <= 0 {
+		t.Errorf("errored run reports Bits = %v, want the init probe's load", res.Bits)
+	}
+}
+
+// TestRunClampsInitialRateToADR: a user-supplied InitialRate that
+// validates against the static rate bounds must not fail the run when
+// the measured ADR pulls MaxRate below it — it is zeroed like a stale
+// MinRate, and the search proceeds from the bracket midpoint.
+func TestRunClampsInitialRateToADR(t *testing.T) {
+	// fakePath ramps OWDs by 100µs per packet above its avail-bw, so the
+	// 120 Mb/s init train disperses to an ADR of 60 Mb/s: MaxRate is
+	// tightened to 75 Mb/s (ADR·ADRMargin), below the 100 Mb/s
+	// InitialRate that the 120 Mb/s generation limit had admitted.
+	p := &fakePath{avail: 5e6}
+	res, err := pathload.Run(p, pathload.Config{
+		PacketsPerStream: 8,
+		StreamsPerFleet:  3,
+		InitialRate:      100e6,
+	})
+	if err != nil {
+		t.Fatalf("InitialRate above the ADR cap failed the run: %v", err)
+	}
+	if res.ADR < 50e6 || res.ADR > 70e6 {
+		t.Fatalf("ADR = %.1f Mb/s, want ≈ 60 (the test's premise)", res.ADR/1e6)
+	}
+	if res.Lo-pathload.DefaultResolution > 5e6 || res.Hi+pathload.DefaultResolution < 5e6 {
+		t.Errorf("range [%.1f, %.1f] Mb/s misses avail-bw 5", res.Lo/1e6, res.Hi/1e6)
+	}
+	if len(res.Fleets) > 0 && res.Fleets[0].Rate >= 75e6 {
+		t.Errorf("first fleet probed at %.1f Mb/s, want below the ADR-tightened MaxRate", res.Fleets[0].Rate/1e6)
+	}
+}
+
+// lossScript is a prober whose stream i of fleet 0 loses a scripted
+// fraction of its packets (between ModerateLoss and StreamAbortLoss
+// when lossy[i] is true); OWDs are flat so only the loss policy can
+// abort the fleet.
+type lossScript struct {
+	lossy []bool
+}
+
+func (s *lossScript) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
+	drop := 0
+	if spec.Index < len(s.lossy) && s.lossy[spec.Index] {
+		// 5% loss: moderately lossy (> 3%), below the 10% abort level.
+		drop = spec.K / 20
+	}
+	res := pathload.StreamResult{Sent: spec.K}
+	for i := 0; i < spec.K-drop; i++ {
+		res.OWDs = append(res.OWDs, pathload.OWDSample{Seq: i, OWD: 5 * time.Millisecond})
+	}
+	return res, nil
+}
+
+func (s *lossScript) Idle(d time.Duration) error { return nil }
+func (s *lossScript) RTT() time.Duration         { return time.Millisecond }
+
+// runLossFleet drives exactly one fleet over the scripted prober and
+// returns its trace.
+func runLossFleet(t *testing.T, lossy []bool) pathload.FleetTrace {
+	t.Helper()
+	res, err := pathload.Run(&lossScript{lossy: lossy}, pathload.Config{
+		PacketsPerStream: 100,
+		StreamsPerFleet:  12,
+		MaxFleets:        1,
+		DisableInitProbe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fleets) != 1 {
+		t.Fatalf("%d fleets, want 1", len(res.Fleets))
+	}
+	return res.Fleets[0]
+}
+
+// TestModerateLossPolicyBoundaries pins the online majority rule: the
+// fleet aborts at the earliest stream where at least two and a strict
+// majority of the streams so far are moderately lossy — and not before.
+func TestModerateLossPolicyBoundaries(t *testing.T) {
+	cases := []struct {
+		name        string
+		lossy       []bool
+		wantAbort   bool
+		wantStreams int
+	}{
+		// One moderately lossy stream is tolerated: the two-stream
+		// quorum keeps a single unlucky stream from condemning a fleet.
+		{"single lossy stream", []bool{true}, false, 12},
+		// Two lossy of two: majority established at stream 2 — the
+		// earliest possible abort.
+		{"first two lossy", []bool{true, true}, true, 2},
+		// Lossy, clean, lossy: 2 of 3 is a strict majority at stream 3.
+		{"majority at three", []bool{true, false, true}, true, 3},
+		// Alternating clean-first never reaches a strict majority
+		// (exactly half at every even count): the fleet completes.
+		{"exact half never aborts", []bool{false, true, false, true, false, true, false, true, false, true, false, true}, false, 12},
+		// 5 of the first 5 lossy — the ISSUE's motivating case — must
+		// abort long before the old full-fleet rule's 7th lossy stream.
+		{"early lossy run", []bool{true, true, true, true, true}, true, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			trace := runLossFleet(t, c.lossy)
+			if got := trace.Verdict == pathload.FleetAborted; got != c.wantAbort {
+				t.Errorf("aborted = %v, want %v", got, c.wantAbort)
+			}
+			if len(trace.Streams) != c.wantStreams {
+				t.Errorf("fleet sent %d streams, want %d", len(trace.Streams), c.wantStreams)
+			}
+		})
+	}
+}
+
+// TestRunReportsProbeBits: Bits must count every emitted packet's wire
+// size, init stream included.
+func TestRunReportsProbeBits(t *testing.T) {
+	p := &fakePath{avail: 5e6}
+	res, err := pathload.Run(p, pathload.Config{PacketsPerStream: 8, StreamsPerFleet: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(pathload.DefaultInitProbePackets*1500) * 8 // init train at the 1500B generation limit
+	for _, f := range res.Fleets {
+		want += float64(len(f.Streams)*8*f.L) * 8
+	}
+	if res.Bits != want {
+		t.Errorf("Bits = %.0f, want %.0f (init + fleet streams)", res.Bits, want)
+	}
+}
