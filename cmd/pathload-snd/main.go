@@ -1,7 +1,10 @@
 // Command pathload-snd is the real-network pathload sender daemon. Run
-// it at the path's source host; it waits for a pathload-rcv to connect
-// on the TCP control port and emits periodic UDP probe streams on
-// request.
+// it at the path's source host; it serves pathload-rcv and
+// pathload -monitor -senders control sessions on the TCP control port —
+// concurrently, one goroutine and one UDP data socket per session, so a
+// single daemon can serve a whole monitored fleet — and emits periodic
+// UDP probe streams on request. Sessions that go idle (a vanished
+// receiver, a half-open connection) are reaped after -session-timeout.
 //
 //	pathload-snd -listen :8365
 package main
@@ -9,16 +12,26 @@ package main
 import (
 	"flag"
 	"log"
+	"time"
 
 	"repro/internal/udprobe"
 )
 
 func main() {
-	listen := flag.String("listen", ":8365", "TCP control listen address")
+	var (
+		listen      = flag.String("listen", ":8365", "TCP control listen address")
+		sessTimeout = flag.Duration("session-timeout", 2*time.Minute, "drop control sessions idle longer than this")
+		maxSessions = flag.Int("max-sessions", 64, "concurrent control session cap; further connections are refused")
+	)
 	flag.Parse()
 
 	log.SetPrefix("pathload-snd: ")
-	if err := udprobe.ListenAndServe(*listen, udprobe.SenderConfig{Logf: log.Printf}); err != nil {
+	cfg := udprobe.SenderConfig{
+		SessionTimeout: *sessTimeout,
+		MaxSessions:    *maxSessions,
+		Logf:           log.Printf,
+	}
+	if err := udprobe.ListenAndServe(*listen, cfg); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -41,6 +41,15 @@
 //
 //	pathload -monitor -paths 16 -rounds 5 -schedule adaptive -budget 2
 //	pathload -monitor -mesh star -paths 8 -rounds 3 -stagger
+//
+// With -senders the monitored fleet runs on real networks instead of
+// simulators: each comma-separated pathload-snd control address becomes
+// one monitored path, dialed (and, after failures, re-dialed with
+// backoff) by the monitor itself, so the fleet survives sender restarts
+// and transient outages. -schedule, -budget, and -export compose as
+// usual:
+//
+//	pathload -monitor -senders hostA:8365,hostB:8365 -rounds 5 -export :9090
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/crosstraffic"
@@ -61,6 +71,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/simprobe"
 	"repro/internal/tsstore"
+	"repro/internal/udprobe"
 
 	pathload "repro"
 )
@@ -91,6 +102,8 @@ func main() {
 		schedName = flag.String("schedule", "fixed", "monitor: re-measurement schedule: fixed (jittered -interval), adaptive (per-path gaps scaled by recent windowed ρ), budgeted (fixed under the -budget cap)")
 		budget    = flag.Float64("budget", 0, "monitor: aggregate probe bit-rate cap in Mb/s across the fleet (token bucket); wraps the chosen -schedule, required by -schedule budgeted")
 		stagger   = flag.Bool("stagger", false, "monitor: with -mesh, never co-measure paths that share a tight link (contention-aware admission)")
+		senders   = flag.String("senders", "", "monitor: comma-separated pathload-snd control addresses (host:port,…); each becomes one real-network path with reconnect-on-error (ignores -paths -cap -util -model -sources; excludes -mesh)")
+		backoff   = flag.Duration("reconnect-backoff", 500*time.Millisecond, "monitor: with -senders, first re-dial delay after a transport failure (doubles up to 15s)")
 	)
 	flag.Parse()
 
@@ -116,10 +129,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pathload: -stagger needs -mesh (the conflict graph comes from the shared backbone)")
 			os.Exit(2)
 		}
+		if *senders != "" && *meshName != "" {
+			fmt.Fprintln(os.Stderr, "pathload: -senders measures real paths; it excludes -mesh")
+			os.Exit(2)
+		}
 		runMonitor(monitorOpts{
 			paths: *paths, rounds: *rounds, workers: *workers,
 			interval: *interval, jitter: *jitter, export: *export, mesh: *meshName,
 			schedule: *schedName, budget: *budget * 1e6, stagger: *stagger,
+			senders: splitSenders(*senders), backoff: *backoff,
 			capMbps: *capMbps, util: *util, model: m, sources: *sources, seed: *seed,
 			measure: pathload.Config{
 				PacketsPerStream: *k,
@@ -190,11 +208,27 @@ type monitorOpts struct {
 	schedule               string
 	budget                 float64 // bits/s aggregate, 0 = uncapped
 	stagger                bool
+	senders                []string // real-network sender addresses; empty = simulate
+	backoff                time.Duration
 	capMbps, util          float64
 	model                  crosstraffic.Model
 	sources                int
 	seed                   int64
 	measure                pathload.Config
+}
+
+// splitSenders parses the -senders list.
+func splitSenders(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // scheduler builds the fleet's re-measurement schedule from the flags:
@@ -265,9 +299,14 @@ func runMonitor(o monitorOpts) {
 			fmt.Printf("%s\n", s)
 			continue
 		}
+		a, known := avail[s.Path]
+		if !known {
+			// Real paths have no analytic ground truth to grade against.
+			fmt.Printf("%-9s r%d @%-8v %v\n", s.Path, s.Round, s.At.Round(time.Millisecond), s.Result)
+			continue
+		}
 		// Same bracketing slack as the dynamics-at-scale experiment:
 		// the termination resolutions ω + χ.
-		a := avail[s.Path]
 		slack := o.measure.Resolution + o.measure.GreyResolution
 		if slack == 0 {
 			slack = pathload.DefaultResolution + pathload.DefaultGreyResolution
@@ -279,8 +318,13 @@ func runMonitor(o monitorOpts) {
 			s.Path, s.Round, s.At.Round(time.Millisecond), a/1e6, s.Result)
 	}
 	mon.Wait()
-	fmt.Printf("fleet: %d paths × %d rounds in %v wall; %d/%d ranges bracket the true avail-bw\n",
-		o.paths, o.rounds, time.Since(start).Round(time.Millisecond), hit, total)
+	if len(avail) > 0 {
+		fmt.Printf("fleet: %d paths × %d rounds in %v wall; %d/%d ranges bracket the true avail-bw\n",
+			len(mon.Paths()), o.rounds, time.Since(start).Round(time.Millisecond), hit, total)
+	} else {
+		fmt.Printf("fleet: %d real paths × %d rounds in %v wall; %d samples\n",
+			len(mon.Paths()), o.rounds, time.Since(start).Round(time.Millisecond), total)
+	}
 
 	// Per-path retained-window aggregates, read back from the store.
 	fmt.Printf("\nstored series (retained window):\n")
@@ -332,6 +376,36 @@ func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[str
 		fmt.Println()
 	}
 	avail := map[string]float64{}
+
+	if len(o.senders) > 0 {
+		// A real-network fleet: every sender address becomes one
+		// factory-backed path the monitor dials itself, so a dead or
+		// restarted pathload-snd heals the session instead of ending it.
+		cfg.Reconnect = pathload.Reconnect{Backoff: o.backoff}
+		mon, err := pathload.NewMonitor(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		used := map[string]bool{}
+		for i, addr := range o.senders {
+			addr := addr
+			id := addr
+			if used[id] {
+				// Two paths to the same daemon are legal (it serves
+				// sessions concurrently); disambiguate the series name.
+				id = fmt.Sprintf("%s#%d", addr, i)
+			}
+			used[id] = true
+			factory := func() (pathload.Prober, error) {
+				return udprobe.Dial(addr, udprobe.ProberConfig{})
+			}
+			if err := mon.AddPathFactory(id, factory); err != nil {
+				return nil, nil, err
+			}
+		}
+		fmt.Printf("real fleet: %d udprobe paths (reconnect backoff %v)\n", len(o.senders), o.backoff)
+		return mon, avail, nil
+	}
 
 	if o.mesh != "" {
 		spec, err := mesh.Shape(o.mesh, o.paths, o.seed)

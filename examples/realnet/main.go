@@ -8,9 +8,17 @@
 // own generation ceiling and raises the HitMax flag rather than
 // reporting a fabricated avail-bw. Point pathload-snd / pathload-rcv
 // at two real hosts for an actual path measurement.
+//
+// With -monitor the example becomes the deployment story instead of the
+// one-shot: one sender daemon serves two monitored paths concurrently,
+// and mid-run the daemon is killed and restarted on the same address.
+// The monitor publishes the outage as error samples and the sessions
+// heal — re-dialed by each path's ProberFactory under the reconnect
+// policy — so the rounds after the restart succeed again.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +29,17 @@ import (
 )
 
 func main() {
+	monitor := flag.Bool("monitor", false, "run the reconnecting two-path monitor with a mid-run sender restart")
+	flag.Parse()
+	if *monitor {
+		runMonitor()
+		return
+	}
+	runOnce()
+}
+
+// runOnce is the original single-shot loopback measurement.
+func runOnce() {
 	snd, err := udprobe.NewSender("127.0.0.1:0", udprobe.SenderConfig{})
 	if err != nil {
 		log.Fatal(err)
@@ -51,5 +70,88 @@ func main() {
 	if res.HitMax {
 		fmt.Println("loopback exceeds the probing ceiling, as expected; the tool")
 		fmt.Println("reports a lower bound instead of a made-up estimate.")
+	}
+}
+
+// runMonitor drives a two-path reconnecting fleet through a sender
+// restart.
+func runMonitor() {
+	snd, err := udprobe.NewSender("127.0.0.1:0", udprobe.SenderConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go snd.Serve()
+	addr := snd.Addr().String()
+	fmt.Printf("sender daemon on %v (serving both paths concurrently)\n", addr)
+
+	factory := func() (pathload.Prober, error) {
+		return udprobe.Dial(addr, udprobe.ProberConfig{ControlTimeout: 2 * time.Second})
+	}
+	mon, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:  2,
+		Rounds:   8,
+		Interval: 100 * time.Millisecond,
+		Config: pathload.Config{
+			PacketsPerStream: 30,
+			StreamsPerFleet:  2,
+			MaxFleets:        4,
+			MinPeriod:        100 * time.Microsecond,
+		},
+		Reconnect: pathload.Reconnect{Backoff: 100 * time.Millisecond, MaxBackoff: 500 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range []string{"path-a", "path-b"} {
+		if err := mon.AddPathFactory(id, factory); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := mon.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	okBefore := map[string]bool{}
+	killed, restarted := false, false
+	errs, healed := 0, 0
+	for s := range mon.Results() {
+		fmt.Printf("  %s\n", s)
+		switch {
+		case s.Err == nil && !killed:
+			okBefore[s.Path] = true
+			if len(okBefore) == 2 {
+				killed = true
+				fmt.Println("-- killing the sender daemon mid-run --")
+				snd.Close()
+			}
+		case s.Err != nil:
+			errs++
+			if !restarted {
+				// The paths are in reconnect backoff now; bring the
+				// daemon back on the very same address.
+				restarted = true
+				var again *udprobe.Sender
+				for i := 0; again == nil; i++ {
+					if again, err = udprobe.NewSender(addr, udprobe.SenderConfig{}); err != nil {
+						if i >= 50 {
+							log.Fatalf("restarting sender on %s: %v", addr, err)
+						}
+						time.Sleep(100 * time.Millisecond)
+					}
+				}
+				snd = again
+				go again.Serve()
+				fmt.Println("-- sender daemon restarted on the same address --")
+			}
+		case s.Err == nil && restarted:
+			healed++
+		}
+	}
+	mon.Wait()
+	snd.Close()
+
+	fmt.Printf("\noutage published as %d error sample(s); %d round(s) healed after the restart\n", errs, healed)
+	if errs > 0 && healed > 0 {
+		fmt.Println("the fleet survived the sender restart: sessions re-dialed and kept measuring.")
 	}
 }

@@ -1,0 +1,164 @@
+package udprobe
+
+import (
+	"testing"
+	"time"
+
+	pathload "repro"
+)
+
+// restartableSender runs a Sender daemon that can be killed and
+// brought back on the same address, the shape of a daemon restart in a
+// real deployment.
+type restartableSender struct {
+	t    *testing.T
+	addr string
+	snd  *Sender
+	done chan struct{} // closed when the current Serve has returned
+}
+
+// serve supervises the current daemon so kill (and test cleanup) can
+// wait for Serve — and every session goroutine that logs through
+// t.Logf — to finish.
+func (r *restartableSender) serve() {
+	done := make(chan struct{})
+	r.done = done
+	snd := r.snd
+	go func() {
+		defer close(done)
+		snd.Serve()
+	}()
+}
+
+func startRestartable(t *testing.T) *restartableSender {
+	t.Helper()
+	r := &restartableSender{t: t}
+	snd, err := NewSender("127.0.0.1:0", SenderConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addr = snd.Addr().String()
+	r.snd = snd
+	r.serve()
+	t.Cleanup(func() { r.kill() })
+	return r
+}
+
+// kill terminates the daemon and every live session, then waits for
+// them to unwind. Idempotent (Sender.Close is).
+func (r *restartableSender) kill() {
+	r.snd.Close()
+	<-r.done
+}
+
+// restart brings the daemon back on its original address, retrying the
+// bind briefly in case the port lingers.
+func (r *restartableSender) restart() {
+	r.t.Helper()
+	var err error
+	for i := 0; i < 100; i++ {
+		var snd *Sender
+		snd, err = NewSender(r.addr, SenderConfig{Logf: r.t.Logf})
+		if err == nil {
+			r.snd = snd
+			r.serve()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	r.t.Fatalf("rebinding %s: %v", r.addr, err)
+}
+
+// realnetCfg keeps loopback measurements small and quick.
+func realnetCfg() pathload.Config {
+	return pathload.Config{
+		PacketsPerStream: 20,
+		StreamsPerFleet:  2,
+		MaxFleets:        3,
+		MinPeriod:        100 * time.Microsecond,
+	}
+}
+
+// TestMonitorOverUDProbeSenderRestartHeals is the real-network monitor
+// loop closed end to end: one udprobe Sender daemon serves two monitor
+// paths concurrently over loopback; mid-run the daemon is killed and
+// restarted. Both paths must publish error samples for the outage and
+// then heal — later rounds succeed through re-dialed sessions.
+func TestMonitorOverUDProbeSenderRestartHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive loopback fleet")
+	}
+	r := startRestartable(t)
+	factory := func() (pathload.Prober, error) {
+		return Dial(r.addr, ProberConfig{ControlTimeout: 2 * time.Second})
+	}
+
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Workers:   2,
+		Interval:  20 * time.Millisecond,
+		Config:    realnetCfg(),
+		Reconnect: pathload.Reconnect{Backoff: 50 * time.Millisecond, MaxBackoff: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"path-a", "path-b"} {
+		if err := m.AddPathFactory(id, factory); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: both paths measure cleanly. Phase 2: the daemon dies;
+	// wait for an error sample from each path. Phase 3: the daemon is
+	// back; wait for each path to succeed again.
+	okBefore := map[string]bool{}
+	errDuring := map[string]bool{}
+	okAfter := map[string]bool{}
+	phase := 1
+	deadline := time.After(90 * time.Second)
+	results := m.Results()
+loop:
+	for {
+		select {
+		case s, ok := <-results:
+			if !ok {
+				t.Fatal("results channel closed before the fleet healed")
+			}
+			switch phase {
+			case 1:
+				if s.Err != nil {
+					t.Fatalf("%s errored before the outage: %v", s.Path, s.Err)
+				}
+				okBefore[s.Path] = true
+				if len(okBefore) == 2 {
+					r.kill()
+					phase = 2
+				}
+			case 2:
+				if s.Err != nil {
+					errDuring[s.Path] = true
+				}
+				if len(errDuring) == 2 {
+					r.restart()
+					phase = 3
+				}
+			case 3:
+				if s.Err == nil {
+					okAfter[s.Path] = true
+					if len(okAfter) == 2 {
+						m.Stop()
+						break loop
+					}
+				}
+			}
+		case <-deadline:
+			t.Fatalf("fleet did not heal: phase %d, before=%v during=%v after=%v", phase, okBefore, errDuring, okAfter)
+		}
+	}
+	for range results {
+	}
+	m.Wait()
+}

@@ -18,6 +18,11 @@ type ProberConfig struct {
 	CollectSlack time.Duration
 	// ControlTimeout bounds control-channel exchanges (default 10 s).
 	ControlTimeout time.Duration
+	// KeepAlive is the longest Idle sleeps without pinging the sender
+	// (default 45 s, under the sender's default 2-minute session idle
+	// timeout). Without the pings, a re-measurement gap longer than the
+	// sender's timeout would get every healthy session reaped mid-gap.
+	KeepAlive time.Duration
 }
 
 func (c ProberConfig) withDefaults() ProberConfig {
@@ -26,6 +31,9 @@ func (c ProberConfig) withDefaults() ProberConfig {
 	}
 	if c.ControlTimeout == 0 {
 		c.ControlTimeout = 10 * time.Second
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = 45 * time.Second
 	}
 	return c
 }
@@ -41,6 +49,12 @@ type Prober struct {
 	udp  *net.UDPConn
 	rtt  time.Duration
 	buf  []byte
+	// gen numbers this session's stream requests. The sender echoes it
+	// in every probe packet and in the StreamDone, so after an errored
+	// round the receiver can discard the abandoned request's late
+	// answer (and its late data packets) instead of mistaking them for
+	// the current round's.
+	gen uint32
 }
 
 // Dial connects to a sender daemon's control address and performs the
@@ -95,10 +109,47 @@ func (p *Prober) Close() error {
 // handshake, pathload's floor for inter-stream gaps.
 func (p *Prober) RTT() time.Duration { return p.rtt }
 
-// Idle sleeps; on a real network, waiting is waiting.
+// Idle sleeps; on a real network, waiting is waiting — but a session
+// must not look dead while it waits. Sleeps longer than KeepAlive are
+// chunked, with a control-channel ping between chunks so the sender's
+// session idle deadline keeps being refreshed. A failed exchange is
+// reported: the session is gone and the caller (a reconnecting monitor
+// session) should heal rather than sleep on.
 func (p *Prober) Idle(d time.Duration) error {
+	for d > p.cfg.KeepAlive {
+		time.Sleep(p.cfg.KeepAlive)
+		d -= p.cfg.KeepAlive
+		if err := p.ping(); err != nil {
+			return err
+		}
+	}
 	time.Sleep(d)
 	return nil
+}
+
+// ping runs one keepalive exchange on the control channel. Like
+// awaitStreamDone it resynchronizes rather than chokes: a StreamDone
+// arriving here is necessarily the late answer to a round the receiver
+// already gave up on (no request is outstanding during Idle), so it is
+// drained, not fatal.
+func (p *Prober) ping() error {
+	if err := p.writeCtrl(wire.MsgPing, nil); err != nil {
+		return err
+	}
+	for {
+		mt, _, err := p.readCtrl()
+		if err != nil {
+			return fmt.Errorf("udprobe: awaiting pong: %w", err)
+		}
+		switch mt {
+		case wire.MsgPong:
+			return nil
+		case wire.MsgStreamDone:
+			// Stale answer to an abandoned round; keep draining.
+		default:
+			return fmt.Errorf("udprobe: expected pong, got %v", mt)
+		}
+	}
 }
 
 // SendStream asks the sender for one stream and collects its packets.
@@ -109,7 +160,9 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 		// the top of the range.
 		spec.Fleet = 1<<31 - 1
 	}
+	p.gen++
 	req := wire.StreamRequest{
+		Gen:      p.gen,
 		Fleet:    uint32(spec.Fleet),
 		Stream:   uint32(spec.Index),
 		K:        uint32(spec.K),
@@ -129,6 +182,10 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 		owd time.Duration
 	}
 	var got []sample
+	// Duplicated datagrams must not count toward the spec.K exit
+	// condition: K duplicates would end collection with real packets
+	// still in flight. Dedup by seq as packets arrive.
+	seen := make(map[uint32]bool, spec.K)
 	deadline := time.Now().Add(spec.Duration() + p.rtt + p.cfg.CollectSlack)
 	for len(got) < spec.K {
 		if err := p.udp.SetReadDeadline(deadline); err != nil {
@@ -146,9 +203,13 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 		if err != nil {
 			continue // stray datagram on our port
 		}
-		if hdr.Fleet != req.Fleet || hdr.Stream != req.Stream {
-			continue // straggler from an earlier stream
+		if hdr.Gen != req.Gen || hdr.Fleet != req.Fleet || hdr.Stream != req.Stream {
+			continue // straggler from an earlier stream or abandoned round
 		}
+		if seen[hdr.Seq] {
+			continue // duplicated datagram
+		}
+		seen[hdr.Seq] = true
 		got = append(got, sample{
 			seq: int(hdr.Seq),
 			owd: time.Duration(recv.UnixNano() - hdr.SentNs),
@@ -156,15 +217,12 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 	}
 
 	// The sender's verdict: how many packets went out, and whether the
-	// pacing was disturbed.
-	mt, payload, err := p.readCtrl()
-	if err != nil {
-		return res, fmt.Errorf("udprobe: awaiting stream-done: %w", err)
-	}
-	if mt != wire.MsgStreamDone {
-		return res, fmt.Errorf("udprobe: expected stream-done, got %v", mt)
-	}
-	done, err := wire.UnmarshalStreamDone(payload)
+	// pacing was disturbed. Answers are strictly ordered on the control
+	// channel, but a round the receiver timed out on leaves its
+	// StreamDone in flight — drain those stale answers (their Gen is
+	// older than this request's) until ours arrives, resynchronizing
+	// the session instead of failing every round after an error.
+	done, err := p.awaitStreamDone(req.Gen)
 	if err != nil {
 		return res, err
 	}
@@ -172,13 +230,40 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 	sort.Slice(got, func(i, j int) bool { return got[i].seq < got[j].seq })
 	res.Sent = int(done.Sent)
 	res.Flagged = done.Flagged != 0
-	for i, s := range got {
-		if i > 0 && got[i-1].seq == s.seq {
-			continue // duplicated datagram
-		}
+	for _, s := range got {
 		res.OWDs = append(res.OWDs, pathload.OWDSample{Seq: s.seq, OWD: s.owd})
 	}
 	return res, nil
+}
+
+// awaitStreamDone reads control messages until the StreamDone answering
+// generation gen arrives, discarding StreamDones of earlier generations
+// (answers to requests this session already gave up on). Anything else
+// on the channel is a protocol error.
+func (p *Prober) awaitStreamDone(gen uint32) (wire.StreamDone, error) {
+	for {
+		mt, payload, err := p.readCtrl()
+		if err != nil {
+			return wire.StreamDone{}, fmt.Errorf("udprobe: awaiting stream-done: %w", err)
+		}
+		if mt == wire.MsgPong {
+			continue // a timed-out keepalive's answer arriving late
+		}
+		if mt != wire.MsgStreamDone {
+			return wire.StreamDone{}, fmt.Errorf("udprobe: expected stream-done, got %v", mt)
+		}
+		done, err := wire.UnmarshalStreamDone(payload)
+		if err != nil {
+			return wire.StreamDone{}, err
+		}
+		if done.Gen == gen {
+			return done, nil
+		}
+		if done.Gen > gen {
+			return wire.StreamDone{}, fmt.Errorf("udprobe: stream-done for future generation %d (at %d)", done.Gen, gen)
+		}
+		// Stale answer to an abandoned round; keep draining.
+	}
 }
 
 // drainData discards stale datagrams buffered on the data socket.

@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/wire"
@@ -35,6 +36,14 @@ type SenderConfig struct {
 	// GapFactor flags a stream when any actual interspacing exceeds
 	// GapFactor·T + SpinThreshold (default 3).
 	GapFactor float64
+	// SessionTimeout bounds how long a control session may sit idle
+	// between messages before the daemon drops it (default 2 minutes).
+	// A vanished receiver — half-open TCP, no MsgBye — would otherwise
+	// hold its session goroutine and data socket forever.
+	SessionTimeout time.Duration
+	// MaxSessions caps concurrent control sessions (default 64);
+	// connections beyond the cap are refused at accept.
+	MaxSessions int
 	// Logf, if set, receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +61,12 @@ func (c SenderConfig) withDefaults() SenderConfig {
 	if c.GapFactor == 0 {
 		c.GapFactor = 3
 	}
+	if c.SessionTimeout == 0 {
+		c.SessionTimeout = 2 * time.Minute
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -59,10 +74,15 @@ func (c SenderConfig) withDefaults() SenderConfig {
 }
 
 // A Sender is the pathload sender daemon: it accepts control sessions
-// and emits probe streams toward the session's receiver.
+// and emits probe streams toward each session's receiver.
 type Sender struct {
 	cfg SenderConfig
 	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewSender listens for control connections on addr (e.g. ":8365").
@@ -71,19 +91,59 @@ func NewSender(addr string, cfg SenderConfig) (*Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udprobe: control listen: %w", err)
 	}
-	return &Sender{cfg: cfg.withDefaults(), ln: ln}, nil
+	return &Sender{cfg: cfg.withDefaults(), ln: ln, conns: map[net.Conn]struct{}{}}, nil
 }
 
 // Addr returns the control listener's address.
 func (s *Sender) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting control sessions.
-func (s *Sender) Close() error { return s.ln.Close() }
+// Close stops accepting control sessions and terminates the live ones:
+// their connections are closed, so in-flight session loops unwind at
+// their next control read. It is idempotent.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// track registers a session connection; it reports false when the
+// sender is closed or at its session cap, in which case the caller must
+// drop the connection.
+func (s *Sender) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= s.cfg.MaxSessions {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Sender) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
 
 // Serve accepts and serves control sessions until the listener closes.
-// Sessions are served one at a time: concurrent measurements through
-// one sender would perturb each other by construction.
+// Sessions run concurrently, one goroutine and one UDP data socket
+// each, so a single daemon can serve a whole monitored fleet of
+// receivers. Concurrent streams share the host's NIC and can perturb
+// each other's pacing; the per-packet timestamps and the Flagged
+// verdict still expose any stream the contention disturbed, and
+// fleet-side admission policies (pathload.MonitorConfig.Admission)
+// decide how much simultaneous probing to allow.
 func (s *Sender) Serve() error {
+	defer s.wg.Wait()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -92,17 +152,36 @@ func (s *Sender) Serve() error {
 			}
 			return fmt.Errorf("udprobe: accept: %w", err)
 		}
-		if err := s.serveSession(conn); err != nil {
-			s.cfg.Logf("udprobe: session from %v: %v", conn.RemoteAddr(), err)
+		if !s.track(conn) {
+			s.cfg.Logf("udprobe: refusing session from %v (closed or at the %d-session cap)", conn.RemoteAddr(), s.cfg.MaxSessions)
+			conn.Close()
+			continue
 		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			if err := s.serveSession(conn); err != nil {
+				s.cfg.Logf("udprobe: session from %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
 	}
+}
+
+// readSession reads one control message under the session idle
+// deadline.
+func (s *Sender) readSession(conn net.Conn) (wire.MsgType, []byte, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.SessionTimeout)); err != nil {
+		return 0, nil, fmt.Errorf("session deadline: %w", err)
+	}
+	return wire.ReadMessage(conn)
 }
 
 // serveSession handles one control session.
 func (s *Sender) serveSession(conn net.Conn) error {
 	defer conn.Close()
 
-	t, payload, err := wire.ReadMessage(conn)
+	t, payload, err := s.readSession(conn)
 	if err != nil {
 		return fmt.Errorf("reading hello: %w", err)
 	}
@@ -136,7 +215,7 @@ func (s *Sender) serveSession(conn net.Conn) error {
 	}
 
 	for {
-		t, payload, err := wire.ReadMessage(conn)
+		t, payload, err := s.readSession(conn)
 		if err != nil {
 			return fmt.Errorf("reading control message: %w", err)
 		}
@@ -153,6 +232,12 @@ func (s *Sender) serveSession(conn net.Conn) error {
 			if err := wire.WriteMessage(conn, wire.MsgStreamDone, wire.MarshalStreamDone(done)); err != nil {
 				return err
 			}
+		case wire.MsgPing:
+			// Keepalive across a long re-measurement gap; reading it
+			// already refreshed the session idle deadline.
+			if err := wire.WriteMessage(conn, wire.MsgPong, nil); err != nil {
+				return err
+			}
 		case wire.MsgBye:
 			return nil
 		default:
@@ -163,7 +248,7 @@ func (s *Sender) serveSession(conn net.Conn) error {
 
 // emitStream paces one periodic stream onto the data socket.
 func (s *Sender) emitStream(udp *net.UDPConn, req wire.StreamRequest) (wire.StreamDone, error) {
-	done := wire.StreamDone{Fleet: req.Fleet, Stream: req.Stream}
+	done := wire.StreamDone{Gen: req.Gen, Fleet: req.Fleet, Stream: req.Stream}
 	if int(req.K) > s.cfg.MaxK || int(req.L) > s.cfg.MaxL || req.K == 0 || int(req.L) < wire.ProbeHeaderSize {
 		return done, fmt.Errorf("stream request out of bounds: K=%d L=%d", req.K, req.L)
 	}
@@ -188,6 +273,7 @@ func (s *Sender) emitStream(udp *net.UDPConn, req wire.StreamRequest) (wire.Stre
 
 		now := time.Now()
 		buf, err := wire.MarshalProbe(wire.ProbeHeader{
+			Gen:    req.Gen,
 			Fleet:  req.Fleet,
 			Stream: req.Stream,
 			Seq:    i,

@@ -8,16 +8,32 @@ import (
 )
 
 // startSender runs a sender daemon on loopback and returns its control
-// address.
+// address. Cleanup waits for Serve — and so for every session goroutine
+// that might still call t.Logf — to return before the test completes.
 func startSender(t *testing.T) string {
 	t.Helper()
-	s, err := NewSender("127.0.0.1:0", SenderConfig{Logf: t.Logf})
+	addr, _ := startSenderCfg(t, SenderConfig{Logf: t.Logf})
+	return addr
+}
+
+// startSenderCfg is startSender with an explicit config; it also
+// returns the Sender for tests that drive its lifecycle.
+func startSenderCfg(t *testing.T, cfg SenderConfig) (string, *Sender) {
+	t.Helper()
+	s, err := NewSender("127.0.0.1:0", cfg)
 	if err != nil {
 		t.Fatalf("NewSender: %v", err)
 	}
-	t.Cleanup(func() { s.Close() })
-	go s.Serve()
-	return s.Addr().String()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve()
+	}()
+	t.Cleanup(func() {
+		s.Close()
+		<-done
+	})
+	return s.Addr().String(), s
 }
 
 // TestStreamRoundTrip exercises the full control + data path over

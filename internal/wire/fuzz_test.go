@@ -11,14 +11,14 @@ import (
 // FuzzProbeRoundTrip: any header marshalled at any size must decode
 // back bit-for-bit, and the padding must stay zero.
 func FuzzProbeRoundTrip(f *testing.F) {
-	f.Add(uint32(0), uint32(0), uint32(0), int64(0), ProbeHeaderSize)
-	f.Add(uint32(3), uint32(11), uint32(99), int64(1_700_000_000_000_000_000), 96)
-	f.Add(uint32(1<<31), uint32(1<<31), uint32(1<<31), int64(-1), 1500)
-	f.Fuzz(func(t *testing.T, fleet, stream, seq uint32, sentNs int64, size int) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0), int64(0), ProbeHeaderSize)
+	f.Add(uint32(1), uint32(3), uint32(11), uint32(99), int64(1_700_000_000_000_000_000), 96)
+	f.Add(uint32(1<<31), uint32(1<<31), uint32(1<<31), uint32(1<<31), int64(-1), 1500)
+	f.Fuzz(func(t *testing.T, gen, fleet, stream, seq uint32, sentNs int64, size int) {
 		if size > 64*1024 {
 			size = 64 * 1024 // cap allocations, not coverage
 		}
-		h := ProbeHeader{Fleet: fleet, Stream: stream, Seq: seq, SentNs: sentNs}
+		h := ProbeHeader{Gen: gen, Fleet: fleet, Stream: stream, Seq: seq, SentNs: sentNs}
 		buf, err := MarshalProbe(h, size)
 		if size < ProbeHeaderSize {
 			if err == nil {
@@ -50,7 +50,7 @@ func FuzzProbeRoundTrip(f *testing.F) {
 // FuzzUnmarshalProbe: arbitrary datagrams must never panic, and
 // anything that decodes must re-encode to the same header bytes.
 func FuzzUnmarshalProbe(f *testing.F) {
-	valid, _ := MarshalProbe(ProbeHeader{Fleet: 1, Stream: 2, Seq: 3, SentNs: 4}, 96)
+	valid, _ := MarshalProbe(ProbeHeader{Gen: 9, Fleet: 1, Stream: 2, Seq: 3, SentNs: 4}, 96)
 	f.Add(valid)
 	f.Add([]byte{})
 	f.Add([]byte("SLPS"))
@@ -85,8 +85,8 @@ func FuzzControlStream(f *testing.F) {
 		return b.Bytes()
 	}
 	f.Add(frame(MsgHello, MarshalHello(Hello{Version: Version, UDPPort: 9999})))
-	f.Add(frame(MsgStreamRequest, MarshalStreamRequest(StreamRequest{Fleet: 1, Stream: 2, K: 100, L: 300, PeriodNs: 100_000})))
-	f.Add(frame(MsgStreamDone, MarshalStreamDone(StreamDone{Fleet: 1, Stream: 2, Sent: 100, Flagged: 1})))
+	f.Add(frame(MsgStreamRequest, MarshalStreamRequest(StreamRequest{Gen: 4, Fleet: 1, Stream: 2, K: 100, L: 300, PeriodNs: 100_000})))
+	f.Add(frame(MsgStreamDone, MarshalStreamDone(StreamDone{Gen: 4, Fleet: 1, Stream: 2, Sent: 100, Flagged: 1})))
 	f.Add(frame(MsgBye, nil))
 	f.Add([]byte{0x53, 0x4c, 0x50, 0x53, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -110,8 +110,8 @@ func FuzzControlStream(f *testing.F) {
 // decode at all.
 func FuzzPayloadRoundTrips(f *testing.F) {
 	f.Add(MarshalHello(Hello{Version: 1, UDPPort: 55555}))
-	f.Add(MarshalStreamRequest(StreamRequest{Fleet: 7, Stream: 3, K: 100, L: 1500, PeriodNs: 1 << 40}))
-	f.Add(MarshalStreamDone(StreamDone{Fleet: 7, Stream: 3, Sent: 99, Flagged: 1}))
+	f.Add(MarshalStreamRequest(StreamRequest{Gen: 2, Fleet: 7, Stream: 3, K: 100, L: 1500, PeriodNs: 1 << 40}))
+	f.Add(MarshalStreamDone(StreamDone{Gen: 2, Fleet: 7, Stream: 3, Sent: 99, Flagged: 1}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if h, err := UnmarshalHello(data); err == nil {
 			if !bytes.Equal(MarshalHello(h), data) {
@@ -145,7 +145,7 @@ func TestReadMessageTruncated(t *testing.T) {
 			t.Fatalf("truncation at %d bytes accepted", cut)
 		}
 	}
-	if typ, payload, err := ReadMessage(bytes.NewReader(full)); err != nil || typ != MsgStreamDone || len(payload) != 13 {
+	if typ, payload, err := ReadMessage(bytes.NewReader(full)); err != nil || typ != MsgStreamDone || len(payload) != 17 {
 		t.Fatalf("full frame: type %v payload %d err %v", typ, len(payload), err)
 	}
 

@@ -17,10 +17,11 @@ const Magic uint32 = 0x534c5053 // "SLPS"
 
 // ProbeHeaderSize is the wire size of a probe packet header; probe
 // packets are padded to the stream's configured packet size L.
-const ProbeHeaderSize = 4 + 4 + 4 + 4 + 8
+const ProbeHeaderSize = 4 + 4 + 4 + 4 + 4 + 8
 
 // A ProbeHeader leads every UDP probe packet.
 type ProbeHeader struct {
+	Gen    uint32 // request generation, echoed from the StreamRequest
 	Fleet  uint32 // fleet index within a measurement
 	Stream uint32 // stream index within the fleet
 	Seq    uint32 // packet index within the stream
@@ -35,10 +36,11 @@ func MarshalProbe(h ProbeHeader, size int) ([]byte, error) {
 	}
 	buf := make([]byte, size)
 	binary.BigEndian.PutUint32(buf[0:], Magic)
-	binary.BigEndian.PutUint32(buf[4:], h.Fleet)
-	binary.BigEndian.PutUint32(buf[8:], h.Stream)
-	binary.BigEndian.PutUint32(buf[12:], h.Seq)
-	binary.BigEndian.PutUint64(buf[16:], uint64(h.SentNs))
+	binary.BigEndian.PutUint32(buf[4:], h.Gen)
+	binary.BigEndian.PutUint32(buf[8:], h.Fleet)
+	binary.BigEndian.PutUint32(buf[12:], h.Stream)
+	binary.BigEndian.PutUint32(buf[16:], h.Seq)
+	binary.BigEndian.PutUint64(buf[20:], uint64(h.SentNs))
 	return buf, nil
 }
 
@@ -54,10 +56,11 @@ func UnmarshalProbe(buf []byte) (ProbeHeader, error) {
 		return ProbeHeader{}, ErrNotProbe
 	}
 	return ProbeHeader{
-		Fleet:  binary.BigEndian.Uint32(buf[4:]),
-		Stream: binary.BigEndian.Uint32(buf[8:]),
-		Seq:    binary.BigEndian.Uint32(buf[12:]),
-		SentNs: int64(binary.BigEndian.Uint64(buf[16:])),
+		Gen:    binary.BigEndian.Uint32(buf[4:]),
+		Fleet:  binary.BigEndian.Uint32(buf[8:]),
+		Stream: binary.BigEndian.Uint32(buf[12:]),
+		Seq:    binary.BigEndian.Uint32(buf[16:]),
+		SentNs: int64(binary.BigEndian.Uint64(buf[20:])),
 	}, nil
 }
 
@@ -66,13 +69,17 @@ type MsgType uint8
 
 // Control channel messages. The receiver (measurement initiator) sends
 // StreamRequest; the sender answers each stream with StreamDone after
-// emitting it.
+// emitting it. Ping/Pong (payload-less) keep an idle session alive
+// across long re-measurement gaps: any message resets the sender's
+// session idle deadline.
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloAck
 	MsgStreamRequest
 	MsgStreamDone
 	MsgBye
+	MsgPing
+	MsgPong
 )
 
 // String names the message type.
@@ -88,13 +95,21 @@ func (t MsgType) String() string {
 		return "stream-done"
 	case MsgBye:
 		return "bye"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
 
-// Version is the control protocol version.
-const Version uint16 = 1
+// Version is the control protocol version. Version 2 added the Gen
+// request-generation tag to StreamRequest, StreamDone, and ProbeHeader
+// — so receivers can resynchronize a control channel after an errored
+// round and reject data-plane stragglers across rounds that reuse
+// fleet/stream indices — and the Ping/Pong session keepalive.
+const Version uint16 = 2
 
 // A Hello opens a control session and advertises the UDP port the
 // receiver listens on.
@@ -103,8 +118,13 @@ type Hello struct {
 	UDPPort uint16
 }
 
-// A StreamRequest asks the sender to emit one periodic stream.
+// A StreamRequest asks the sender to emit one periodic stream. Gen is
+// an opaque receiver-chosen generation number the sender echoes in the
+// matching StreamDone and in every probe packet of the stream; a
+// receiver that gave up on an earlier request uses it to tell the stale
+// answer from the one it is waiting for.
 type StreamRequest struct {
+	Gen      uint32
 	Fleet    uint32
 	Stream   uint32
 	K        uint32 // packets
@@ -114,6 +134,7 @@ type StreamRequest struct {
 
 // A StreamDone reports how the sender actually paced the stream.
 type StreamDone struct {
+	Gen     uint32 // echoed from the StreamRequest
 	Fleet   uint32
 	Stream  uint32
 	Sent    uint32 // packets emitted
@@ -186,48 +207,52 @@ func UnmarshalHello(buf []byte) (Hello, error) {
 
 // MarshalStreamRequest encodes a StreamRequest payload.
 func MarshalStreamRequest(q StreamRequest) []byte {
-	buf := make([]byte, 24)
-	binary.BigEndian.PutUint32(buf[0:], q.Fleet)
-	binary.BigEndian.PutUint32(buf[4:], q.Stream)
-	binary.BigEndian.PutUint32(buf[8:], q.K)
-	binary.BigEndian.PutUint32(buf[12:], q.L)
-	binary.BigEndian.PutUint64(buf[16:], q.PeriodNs)
+	buf := make([]byte, 28)
+	binary.BigEndian.PutUint32(buf[0:], q.Gen)
+	binary.BigEndian.PutUint32(buf[4:], q.Fleet)
+	binary.BigEndian.PutUint32(buf[8:], q.Stream)
+	binary.BigEndian.PutUint32(buf[12:], q.K)
+	binary.BigEndian.PutUint32(buf[16:], q.L)
+	binary.BigEndian.PutUint64(buf[20:], q.PeriodNs)
 	return buf
 }
 
 // UnmarshalStreamRequest decodes a StreamRequest payload.
 func UnmarshalStreamRequest(buf []byte) (StreamRequest, error) {
-	if len(buf) != 24 {
-		return StreamRequest{}, fmt.Errorf("wire: stream-request payload %d bytes, want 24", len(buf))
+	if len(buf) != 28 {
+		return StreamRequest{}, fmt.Errorf("wire: stream-request payload %d bytes, want 28", len(buf))
 	}
 	return StreamRequest{
-		Fleet:    binary.BigEndian.Uint32(buf[0:]),
-		Stream:   binary.BigEndian.Uint32(buf[4:]),
-		K:        binary.BigEndian.Uint32(buf[8:]),
-		L:        binary.BigEndian.Uint32(buf[12:]),
-		PeriodNs: binary.BigEndian.Uint64(buf[16:]),
+		Gen:      binary.BigEndian.Uint32(buf[0:]),
+		Fleet:    binary.BigEndian.Uint32(buf[4:]),
+		Stream:   binary.BigEndian.Uint32(buf[8:]),
+		K:        binary.BigEndian.Uint32(buf[12:]),
+		L:        binary.BigEndian.Uint32(buf[16:]),
+		PeriodNs: binary.BigEndian.Uint64(buf[20:]),
 	}, nil
 }
 
 // MarshalStreamDone encodes a StreamDone payload.
 func MarshalStreamDone(d StreamDone) []byte {
-	buf := make([]byte, 13)
-	binary.BigEndian.PutUint32(buf[0:], d.Fleet)
-	binary.BigEndian.PutUint32(buf[4:], d.Stream)
-	binary.BigEndian.PutUint32(buf[8:], d.Sent)
-	buf[12] = d.Flagged
+	buf := make([]byte, 17)
+	binary.BigEndian.PutUint32(buf[0:], d.Gen)
+	binary.BigEndian.PutUint32(buf[4:], d.Fleet)
+	binary.BigEndian.PutUint32(buf[8:], d.Stream)
+	binary.BigEndian.PutUint32(buf[12:], d.Sent)
+	buf[16] = d.Flagged
 	return buf
 }
 
 // UnmarshalStreamDone decodes a StreamDone payload.
 func UnmarshalStreamDone(buf []byte) (StreamDone, error) {
-	if len(buf) != 13 {
-		return StreamDone{}, fmt.Errorf("wire: stream-done payload %d bytes, want 13", len(buf))
+	if len(buf) != 17 {
+		return StreamDone{}, fmt.Errorf("wire: stream-done payload %d bytes, want 17", len(buf))
 	}
 	return StreamDone{
-		Fleet:   binary.BigEndian.Uint32(buf[0:]),
-		Stream:  binary.BigEndian.Uint32(buf[4:]),
-		Sent:    binary.BigEndian.Uint32(buf[8:]),
-		Flagged: buf[12],
+		Gen:     binary.BigEndian.Uint32(buf[0:]),
+		Fleet:   binary.BigEndian.Uint32(buf[4:]),
+		Stream:  binary.BigEndian.Uint32(buf[8:]),
+		Sent:    binary.BigEndian.Uint32(buf[12:]),
+		Flagged: buf[16],
 	}, nil
 }

@@ -12,7 +12,7 @@ import (
 // TestProbeRoundTrip checks encode/decode of a probe header plus
 // padding.
 func TestProbeRoundTrip(t *testing.T) {
-	h := ProbeHeader{Fleet: 3, Stream: 7, Seq: 42, SentNs: 1_234_567_890_123}
+	h := ProbeHeader{Gen: 9, Fleet: 3, Stream: 7, Seq: 42, SentNs: 1_234_567_890_123}
 	buf, err := MarshalProbe(h, 200)
 	if err != nil {
 		t.Fatal(err)
@@ -31,9 +31,9 @@ func TestProbeRoundTrip(t *testing.T) {
 
 // TestQuickProbeRoundTrip is the property form.
 func TestQuickProbeRoundTrip(t *testing.T) {
-	f := func(fleet, stream, seq uint32, sent int64, pad uint16) bool {
+	f := func(gen, fleet, stream, seq uint32, sent int64, pad uint16) bool {
 		size := ProbeHeaderSize + int(pad)%1400
-		h := ProbeHeader{Fleet: fleet, Stream: stream, Seq: seq, SentNs: sent}
+		h := ProbeHeader{Gen: gen, Fleet: fleet, Stream: stream, Seq: seq, SentNs: sent}
 		buf, err := MarshalProbe(h, size)
 		if err != nil {
 			return false
@@ -66,8 +66,8 @@ func TestControlRoundTrips(t *testing.T) {
 	var buf bytes.Buffer
 
 	hello := Hello{Version: Version, UDPPort: 4242}
-	req := StreamRequest{Fleet: 1, Stream: 2, K: 100, L: 300, PeriodNs: 100_000}
-	done := StreamDone{Fleet: 1, Stream: 2, Sent: 100, Flagged: 1}
+	req := StreamRequest{Gen: 5, Fleet: 1, Stream: 2, K: 100, L: 300, PeriodNs: 100_000}
+	done := StreamDone{Gen: 5, Fleet: 1, Stream: 2, Sent: 100, Flagged: 1}
 
 	if err := WriteMessage(&buf, MsgHello, MarshalHello(hello)); err != nil {
 		t.Fatal(err)
@@ -111,8 +111,8 @@ func TestControlRoundTrips(t *testing.T) {
 // TestQuickStreamRequestRoundTrip is the property form for the largest
 // payload.
 func TestQuickStreamRequestRoundTrip(t *testing.T) {
-	f := func(fleet, stream, k, l uint32, period uint64) bool {
-		req := StreamRequest{Fleet: fleet, Stream: stream, K: k, L: l, PeriodNs: period}
+	f := func(gen, fleet, stream, k, l uint32, period uint64) bool {
+		req := StreamRequest{Gen: gen, Fleet: fleet, Stream: stream, K: k, L: l, PeriodNs: period}
 		got, err := UnmarshalStreamRequest(MarshalStreamRequest(req))
 		return err == nil && got == req
 	}
@@ -150,11 +150,19 @@ func TestPayloadSizeValidation(t *testing.T) {
 	if _, err := UnmarshalHello([]byte{1}); err == nil {
 		t.Error("short hello accepted")
 	}
-	if _, err := UnmarshalStreamRequest(make([]byte, 23)); err == nil {
+	if _, err := UnmarshalStreamRequest(make([]byte, 27)); err == nil {
 		t.Error("short stream-request accepted")
 	}
-	if _, err := UnmarshalStreamDone(make([]byte, 14)); err == nil {
+	if _, err := UnmarshalStreamDone(make([]byte, 18)); err == nil {
 		t.Error("long stream-done accepted")
+	}
+	// Version-1 payloads (pre-Gen layouts) must be rejected, not
+	// misparsed: the handshake version gate is backed by strict sizes.
+	if _, err := UnmarshalStreamRequest(make([]byte, 24)); err == nil {
+		t.Error("v1 stream-request accepted")
+	}
+	if _, err := UnmarshalStreamDone(make([]byte, 13)); err == nil {
+		t.Error("v1 stream-done accepted")
 	}
 }
 

@@ -1,7 +1,9 @@
 package pathload
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -62,6 +64,49 @@ type MonitorConfig struct {
 	// co-probing (feed it mesh.Mesh.TightOverlaps). When Admission is
 	// set, Workers only applies through the policy itself.
 	Admission schedule.Admission
+	// Reconnect tunes how factory-backed sessions (AddPathFactory)
+	// heal after a transport failure. The zero value selects the
+	// defaults documented on the Reconnect type; it is ignored for
+	// paths added with AddPath.
+	Reconnect Reconnect
+}
+
+// A ProberFactory dials a fresh Prober for one path. The monitor calls
+// it whenever the path needs a (re)connection: once before the first
+// round, and again after any round whose transport failed. It owns the
+// probers it receives from the factory and closes those that implement
+// io.Closer when they fail or when the session ends.
+type ProberFactory func() (Prober, error)
+
+// Reconnect is the heal policy for factory-backed sessions: when a
+// round fails on a real transport, the session closes the prober,
+// re-dials through the path's ProberFactory with exponential backoff,
+// and carries on — a long-lived monitor must outlive sender restarts,
+// route flaps, and idle-killed control connections.
+type Reconnect struct {
+	// Backoff is the wait before the first re-dial (default 500 ms);
+	// it doubles after each consecutive dial failure.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 15 s).
+	MaxBackoff time.Duration
+	// MaxAttempts ends the session after this many consecutive dial
+	// failures, publishing a terminal error sample. 0 keeps trying
+	// until Stop.
+	MaxAttempts int
+}
+
+// withDefaults returns r with zero fields replaced by defaults.
+func (r Reconnect) withDefaults() Reconnect {
+	if r.Backoff == 0 {
+		r.Backoff = 500 * time.Millisecond
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = 15 * time.Second
+	}
+	if r.MaxBackoff < r.Backoff {
+		r.MaxBackoff = r.Backoff
+	}
+	return r
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -85,6 +130,9 @@ func (c MonitorConfig) validate() error {
 	if c.Jitter < 0 || c.Jitter > 1 {
 		return fmt.Errorf("pathload: monitor Jitter %v outside [0,1]", c.Jitter)
 	}
+	if c.Reconnect.Backoff < 0 || c.Reconnect.MaxBackoff < 0 || c.Reconnect.MaxAttempts < 0 {
+		return fmt.Errorf("pathload: monitor Reconnect has negative Backoff/MaxBackoff/MaxAttempts")
+	}
 	return schedule.Validate(c.Scheduler)
 }
 
@@ -95,9 +143,9 @@ type Sample struct {
 	// Round counts the path's measurements from 0.
 	Round int
 	// At is the path-local time offset of the measurement start: the
-	// accumulated probing and idle durations since the session began.
-	// Under the simulator it is exact virtual time, so it is
-	// reproducible run-to-run; Wall is not.
+	// accumulated probing, idle, and reconnect-backoff durations since
+	// the session began. Under the simulator it is exact virtual time,
+	// so it is reproducible run-to-run; Wall is not.
 	At time.Duration
 	// Wall is the wall-clock completion time of the round.
 	Wall time.Time
@@ -134,9 +182,22 @@ type SampleSink interface {
 
 // session is the per-path state of a monitor.
 type session struct {
-	id     string
-	prober Prober
-	hist   sessionHistory // scheduler feedback, maintained by run
+	id      string
+	prober  Prober         // nil on a factory-backed session awaiting (re)dial
+	factory ProberFactory  // nil on AddPath sessions
+	hist    sessionHistory // scheduler feedback, maintained by run
+}
+
+// closeProber releases a factory-owned prober; probers handed to
+// AddPath stay the caller's to close.
+func (s *session) closeProber() {
+	if s.factory == nil || s.prober == nil {
+		return
+	}
+	if c, ok := s.prober.(io.Closer); ok {
+		c.Close()
+	}
+	s.prober = nil
 }
 
 // sessionHistory implements schedule.History for one session: the last
@@ -175,11 +236,13 @@ func (h *sessionHistory) RelVar(path string, window time.Duration) (float64, boo
 // of worker scheduling. With deterministic probers (internal/simprobe
 // on per-path simulators) the whole run is reproducible.
 //
-// Lifecycle: NewMonitor, AddPath for every path, Start, consume
-// Results; then either Wait (Rounds > 0) or Stop. Results is closed
-// when every session has finished. Attach a SampleSink via
-// MonitorConfig.Store to retain the per-path series beyond the channel
-// (windowed ρ, quantiles, scrape export — see internal/tsstore).
+// Lifecycle: NewMonitor, AddPath (own prober) or AddPathFactory
+// (monitor-dialed, reconnecting — the real-network mode) for every
+// path, Start, consume Results; then either Wait (Rounds > 0) or Stop.
+// Results is closed when every session has finished. Attach a
+// SampleSink via MonitorConfig.Store to retain the per-path series
+// beyond the channel (windowed ρ, quantiles, scrape export — see
+// internal/tsstore).
 type Monitor struct {
 	cfg      MonitorConfig
 	sessions []*session
@@ -220,6 +283,31 @@ func (m *Monitor) AddPath(id string, p Prober) error {
 	}
 	m.byID[id] = true
 	m.sessions = append(m.sessions, &session{id: id, prober: p})
+	return nil
+}
+
+// AddPathFactory registers a path whose prober is dialed — and, after
+// transport failures, re-dialed — by the monitor itself, under the
+// MonitorConfig.Reconnect policy. This is the real-network registration
+// path: hand it a factory that dials a udprobe sender and the session
+// heals across sender restarts instead of dying with the first broken
+// control connection. Probers obtained from the factory are owned by
+// the monitor and closed (when they implement io.Closer) on failure and
+// at session end. Paths must be added before Start.
+func (m *Monitor) AddPathFactory(id string, f ProberFactory) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("pathload: AddPathFactory(%q) after Start", id)
+	}
+	if f == nil {
+		return fmt.Errorf("pathload: AddPathFactory(%q) with nil factory", id)
+	}
+	if m.byID[id] {
+		return fmt.Errorf("pathload: duplicate path %q", id)
+	}
+	m.byID[id] = true
+	m.sessions = append(m.sessions, &session{id: id, factory: f})
 	return nil
 }
 
@@ -300,12 +388,125 @@ func (m *Monitor) Stop() {
 // only happens after Stop.
 func (m *Monitor) Wait() { m.wg.Wait() }
 
-// run is one path's session loop: pass admission, measure, publish,
-// ask the scheduler for the next gap, idle, repeat.
+// errMonitorStopped marks a session ended by Stop mid-heal; it is never
+// published.
+var errMonitorStopped = errors.New("pathload: monitor stopped")
+
+// publish delivers a finished sample to the sink and then the results
+// channel. Delivery prefers the channel's buffer even when Stop has
+// been called — a finished round is data — and falls back to racing
+// stop only when the buffer is full (the consumer may be gone). It
+// reports whether the channel accepted the sample; the sink always sees
+// it first.
+func (m *Monitor) publish(sample Sample) bool {
+	if m.cfg.Store != nil {
+		m.cfg.Store.Observe(sample)
+	}
+	select {
+	case m.results <- sample:
+		return true
+	default:
+	}
+	select {
+	case m.results <- sample:
+		return true
+	case <-m.stop:
+		return false
+	}
+}
+
+// sleep waits wall time d, reporting false when Stop interrupts. It is
+// how sessions wait without a live prober: reconnect backoffs, and
+// re-measurement gaps while the transport is down.
+func (m *Monitor) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-m.stop:
+		return false
+	}
+}
+
+// redial restores a factory-backed session's prober, backing off
+// exponentially between consecutive dial failures. It returns nil once
+// the session has a live prober, errMonitorStopped when Stop came
+// first, or the last dial error once Reconnect.MaxAttempts consecutive
+// dials have failed. Backoff waits advance the session clock at.
+// Each dial runs in its own goroutine and races m.stop, so Stop (and
+// therefore Wait) is never held hostage by a factory blocked inside a
+// slow dial; a dial that completes after Stop is reaped, its prober
+// closed.
+func (m *Monitor) redial(s *session, at *time.Duration) error {
+	rc := m.cfg.Reconnect.withDefaults()
+	backoff := rc.Backoff
+	type dialed struct {
+		p   Prober
+		err error
+	}
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-m.stop:
+			return errMonitorStopped
+		default:
+		}
+		ch := make(chan dialed, 1)
+		go func() {
+			p, err := s.factory()
+			ch <- dialed{p, err}
+		}()
+		var d dialed
+		select {
+		case d = <-ch:
+		case <-m.stop:
+			go func() {
+				if late := <-ch; late.err == nil {
+					if c, ok := late.p.(io.Closer); ok {
+						c.Close()
+					}
+				}
+			}()
+			return errMonitorStopped
+		}
+		if d.err == nil {
+			s.prober = d.p
+			return nil
+		}
+		if rc.MaxAttempts > 0 && attempt >= rc.MaxAttempts {
+			return fmt.Errorf("pathload: %s: reconnect gave up after %d dials: %w", s.id, attempt, d.err)
+		}
+		if !m.sleep(backoff) {
+			return errMonitorStopped
+		}
+		*at += backoff
+		backoff *= 2
+		if backoff > rc.MaxBackoff {
+			backoff = rc.MaxBackoff
+		}
+	}
+}
+
+// run is one path's session loop: heal the transport if needed, pass
+// admission, measure, publish, ask the scheduler for the next gap,
+// idle, repeat. Factory-backed sessions never die of transport errors:
+// every failed round still publishes its error sample, then the prober
+// is closed and re-dialed under the Reconnect policy.
 func (m *Monitor) run(s *session) {
 	defer m.wg.Done()
+	defer s.closeProber()
 	var at time.Duration
 	for round := 0; m.cfg.Rounds == 0 || round < m.cfg.Rounds; round++ {
+		if s.prober == nil {
+			if err := m.redial(s, &at); err != nil {
+				if !errors.Is(err, errMonitorStopped) {
+					// The dial budget is exhausted: the session ends, but
+					// not silently.
+					m.publish(Sample{Path: s.id, Round: round, At: at, Wall: time.Now(), Err: err})
+				}
+				return
+			}
+		}
 		release, ok := m.adm.Acquire(s.id, m.stop)
 		if !ok {
 			return
@@ -317,20 +518,13 @@ func (m *Monitor) run(s *session) {
 		s.hist.last = schedule.Round{Round: round, At: at, Span: res.Elapsed, Bits: res.Bits, Err: err != nil}
 		s.hist.haveLast = true
 		at += res.Elapsed
-		if m.cfg.Store != nil {
-			m.cfg.Store.Observe(sample)
+		if !m.publish(sample) {
+			return
 		}
-		// A finished round is delivered even when Stop has been called:
-		// prefer the buffer slot, and fall back to racing stop only when
-		// the channel is full (the consumer may be gone).
-		select {
-		case m.results <- sample:
-		default:
-			select {
-			case m.results <- sample:
-			case <-m.stop:
-				return
-			}
+		if err != nil {
+			// On a factory-backed session a failed round condemns the
+			// transport: close it now so the next round re-dials.
+			s.closeProber()
 		}
 
 		if m.cfg.Rounds != 0 && round == m.cfg.Rounds-1 {
@@ -346,16 +540,32 @@ func (m *Monitor) run(s *session) {
 			return // schedule exhausted: the session ends cleanly
 		}
 		if gap > 0 {
+			if s.prober == nil {
+				// Healing: the gap passes in wall time, the re-dial
+				// happens at the top of the next round.
+				if !m.sleep(gap) {
+					return
+				}
+				at += gap
+				continue
+			}
 			if err := s.prober.Idle(gap); err != nil {
 				idleErr := Sample{Path: s.id, Round: round + 1, At: at, Wall: time.Now(), Err: fmt.Errorf("pathload: idle: %w", err)}
-				if m.cfg.Store != nil {
-					m.cfg.Store.Observe(idleErr)
+				delivered := m.publish(idleErr)
+				if s.factory == nil {
+					// A prober whose clock failed is not healable here;
+					// the session ends (its owner may still be using the
+					// prober elsewhere after the monitor is done).
+					return
 				}
-				select {
-				case m.results <- idleErr:
-				case <-m.stop:
+				if !delivered {
+					return
 				}
-				return
+				// The idle error consumed round+1's slot; heal and carry
+				// on at round+2.
+				s.closeProber()
+				round++
+				continue
 			}
 			at += gap
 		}

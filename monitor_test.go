@@ -596,6 +596,310 @@ func TestMonitorStaggerAdmission(t *testing.T) {
 	}
 }
 
+// closablePath is a fakePath that records Close calls, the way a real
+// transport prober (udprobe) hands its sockets back.
+type closablePath struct {
+	fakePath
+	closed atomic.Bool
+}
+
+func (c *closablePath) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+// flakyFactory dials closablePaths, failing the first dialFails
+// attempts; it records every prober it handed out.
+type flakyFactory struct {
+	mu        sync.Mutex
+	dialFails int
+	dials     int
+	probers   []*closablePath
+	build     func() *closablePath
+}
+
+func (f *flakyFactory) dial() (pathload.Prober, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dials++
+	if f.dialFails > 0 {
+		f.dialFails--
+		return nil, errors.New("connection refused")
+	}
+	p := f.build()
+	f.probers = append(f.probers, p)
+	return p, nil
+}
+
+// TestMonitorFactorySessionHeals: a factory-backed session whose round
+// fails must publish the error sample, close the condemned prober,
+// re-dial, and succeed on the next round — the session heals instead of
+// dying.
+func TestMonitorFactorySessionHeals(t *testing.T) {
+	boom := errors.New("transport down")
+	first := true
+	f := &flakyFactory{build: func() *closablePath {
+		p := &closablePath{fakePath: fakePath{avail: 10e6}}
+		if first {
+			// The first prober fails every stream; its replacement works.
+			first = false
+			p.fakePath.fail = boom
+		}
+		return p
+	}}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds:    3,
+		Interval:  time.Millisecond,
+		Config:    fastCfg(),
+		Reconnect: pathload.Reconnect{Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPathFactory("healer", f.dial); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var samples []pathload.Sample
+	for s := range m.Results() {
+		samples = append(samples, s)
+	}
+	m.Wait()
+
+	if len(samples) != 3 {
+		t.Fatalf("%d samples, want 3", len(samples))
+	}
+	if !errors.Is(samples[0].Err, boom) {
+		t.Errorf("round 0 err = %v, want the transport error", samples[0].Err)
+	}
+	for _, s := range samples[1:] {
+		if s.Err != nil {
+			t.Errorf("round %d did not heal: %v", s.Round, s.Err)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dials != 2 || len(f.probers) != 2 {
+		t.Fatalf("factory dialed %d times handing out %d probers, want 2 and 2", f.dials, len(f.probers))
+	}
+	if !f.probers[0].closed.Load() {
+		t.Error("the failed prober was not closed before re-dialing")
+	}
+	if !f.probers[1].closed.Load() {
+		t.Error("the last prober was not closed at session end")
+	}
+}
+
+// TestMonitorFactoryDialBackoffGivesUp: with MaxAttempts bounded and a
+// dead endpoint, the session publishes one terminal error sample and
+// ends; the fleet's other sessions are unaffected.
+func TestMonitorFactoryDialBackoffGivesUp(t *testing.T) {
+	dead := func() (pathload.Prober, error) { return nil, errors.New("no route to host") }
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds:    2,
+		Config:    fastCfg(),
+		Reconnect: pathload.Reconnect{Backoff: time.Millisecond, MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPathFactory("dead", dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("alive", &fakePath{avail: 10e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	perPath := map[string][]pathload.Sample{}
+	for s := range m.Results() {
+		perPath[s.Path] = append(perPath[s.Path], s)
+	}
+	m.Wait()
+
+	if got := len(perPath["alive"]); got != 2 {
+		t.Errorf("alive: %d samples, want 2", got)
+	}
+	deadSamples := perPath["dead"]
+	if len(deadSamples) != 1 {
+		t.Fatalf("dead: %d samples, want exactly 1 terminal error", len(deadSamples))
+	}
+	if deadSamples[0].Err == nil || !strings.Contains(deadSamples[0].Err.Error(), "gave up after 3 dials") {
+		t.Errorf("terminal sample err = %v, want the reconnect give-up diagnostic", deadSamples[0].Err)
+	}
+}
+
+// TestMonitorFactoryIdleErrorHeals: on a factory-backed session a
+// failed re-measurement gap publishes its error sample and the session
+// reconnects and keeps measuring — unlike AddPath sessions, whose
+// prober the monitor cannot replace.
+func TestMonitorFactoryIdleErrorHeals(t *testing.T) {
+	const gap = 1237 * time.Microsecond
+	tick := errors.New("clock lost")
+	var made []*closablePath
+	var mu sync.Mutex
+	factory := func() (pathload.Prober, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		p := &closablePath{fakePath: fakePath{avail: 9e6}}
+		if len(made) == 0 {
+			p.fakePath.idleFail = tick
+			p.fakePath.idleFailOn = gap
+		}
+		made = append(made, p)
+		return p, nil
+	}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds:    4,
+		Interval:  gap,
+		Config:    fastCfg(),
+		Reconnect: pathload.Reconnect{Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPathFactory("sleepless", factory); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var samples []pathload.Sample
+	for s := range m.Results() {
+		samples = append(samples, s)
+	}
+	m.Wait()
+
+	// Round 0 succeeds, round 1 is the idle error, rounds 2 and 3 come
+	// from the replacement prober: 4 samples, the Rounds budget.
+	if len(samples) != 4 {
+		t.Fatalf("%d samples, want 4: %v", len(samples), samples)
+	}
+	if samples[0].Err != nil {
+		t.Errorf("round 0 should succeed: %v", samples[0].Err)
+	}
+	if samples[1].Round != 1 || !errors.Is(samples[1].Err, tick) {
+		t.Errorf("idle failure sample = {round %d, err %v}, want round 1 wrapping %v", samples[1].Round, samples[1].Err, tick)
+	}
+	for _, s := range samples[2:] {
+		if s.Err != nil {
+			t.Errorf("round %d did not heal after the idle error: %v", s.Round, s.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(made) != 2 {
+		t.Fatalf("factory made %d probers, want 2 (original + replacement)", len(made))
+	}
+	if !made[0].closed.Load() {
+		t.Error("the prober whose Idle failed was not closed")
+	}
+}
+
+// TestMonitorStopInterruptsSlowDial: Stop (and so Wait) must not be
+// held hostage by a ProberFactory blocked inside a slow dial — the
+// dial is raced against stop.
+func TestMonitorStopInterruptsSlowDial(t *testing.T) {
+	block := make(chan struct{})
+	factory := func() (pathload.Prober, error) {
+		<-block
+		return nil, errors.New("much too late")
+	}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{Rounds: 1, Config: fastCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPathFactory("stuck", factory); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	done := make(chan struct{})
+	go func() {
+		for range m.Results() {
+		}
+		m.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait blocked on an in-flight factory dial after Stop")
+	}
+	close(block) // release the reaped dial goroutine
+}
+
+// idleBlocker hands control to the test inside Idle so the test can
+// order Stop strictly before the idle error's publication.
+type idleBlocker struct {
+	fakePath
+	gap     time.Duration
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *idleBlocker) Idle(d time.Duration) error {
+	if d == b.gap {
+		close(b.entered)
+		<-b.release
+		return errors.New("idle sabotaged")
+	}
+	return b.fakePath.Idle(d)
+}
+
+// TestMonitorIdleErrorPrefersBufferOverStop: with Stop already called
+// and room in the results buffer, the idle-error sample must still be
+// delivered — the same prefer-the-buffer policy round samples get. The
+// old code raced the send against the closed stop channel and dropped
+// the sample nondeterministically.
+func TestMonitorIdleErrorPrefersBufferOverStop(t *testing.T) {
+	const gap = 1237 * time.Microsecond
+	b := &idleBlocker{
+		fakePath: fakePath{avail: 9e6},
+		gap:      gap,
+		entered:  make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+	m, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds:   3,
+		Interval: gap,
+		Buffer:   4,
+		Config:   fastCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPath("blocked", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	first := <-m.Results()
+	if first.Err != nil {
+		t.Fatalf("round 0 failed: %v", first.Err)
+	}
+	<-b.entered // the session is inside the re-measurement gap
+	m.Stop()    // stop is now closed…
+	close(b.release)
+
+	var got []pathload.Sample
+	for s := range m.Results() {
+		got = append(got, s)
+	}
+	m.Wait()
+	// …and the idle-error sample must be delivered anyway: the buffer
+	// had room.
+	if len(got) != 1 || got[0].Err == nil || !strings.Contains(got[0].Err.Error(), "idle sabotaged") {
+		t.Fatalf("after Stop, got samples %v, want exactly the idle-error sample", got)
+	}
+}
+
 // TestMonitorIdleErrorReachesSink: when the re-measurement gap itself
 // fails (a real transport losing its clock or socket), the session ends
 // — but not silently: the idle error is published as a sample to both

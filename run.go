@@ -91,9 +91,14 @@ func Run(p Prober, cfg Config) (Result, error) {
 }
 
 // initProbe sends one short stream at the generation limit and
-// estimates the path's asymptotic dispersion rate from the arrival
-// spacing of the received packets: (received−1)·L·8 over the time
-// between the first and last arrival. In the fluid model the ADR of a
+// estimates the path's asymptotic dispersion rate from the received
+// packets: (lastSeq−firstSeq)·L·8 over the sent span of those packets
+// plus the dispersion the path added, (lastSeq−firstSeq)·T +
+// (OWD_last − OWD_first). Spanning sequence numbers rather than
+// counting received packets keeps the estimate loss-robust: packets
+// lost between the first and last survivor carried bits across the
+// same span, so dropping them from the numerator (a received−1 count)
+// would understate the rate. In the fluid model the ADR of a
 // saturating train satisfies A ≤ ADR ≤ C, so it upper-bounds the
 // avail-bw search.
 func initProbe(p Prober, cfg Config) (adr float64, elapsed time.Duration, bits float64, err error) {

@@ -1,6 +1,7 @@
 package pathload_test
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -140,6 +141,73 @@ func TestModerateLossPolicyBoundaries(t *testing.T) {
 				t.Errorf("fleet sent %d streams, want %d", len(trace.Streams), c.wantStreams)
 			}
 		})
+	}
+}
+
+// adrScript scripts the init probe's train: the Fleet == -1 stream gets
+// the canned OWD samples, fleet streams get flat full trains so the
+// measurement finishes immediately after.
+type adrScript struct {
+	owds []pathload.OWDSample
+}
+
+func (s *adrScript) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
+	if spec.Fleet < 0 {
+		return pathload.StreamResult{Sent: spec.K, OWDs: s.owds}, nil
+	}
+	res := pathload.StreamResult{Sent: spec.K}
+	for i := 0; i < spec.K; i++ {
+		res.OWDs = append(res.OWDs, pathload.OWDSample{Seq: i, OWD: 5 * time.Millisecond})
+	}
+	return res, nil
+}
+
+func (s *adrScript) Idle(d time.Duration) error { return nil }
+func (s *adrScript) RTT() time.Duration         { return time.Millisecond }
+
+// TestInitProbeADRLossRobust pins the ADR formula on a lossy train:
+// (lastSeq−firstSeq)·L·8 over the seq span plus the added dispersion —
+// NOT the naive (received−1)·L·8 over first-to-last arrival, which
+// understates the rate when packets between the survivors are lost.
+func TestInitProbeADRLossRobust(t *testing.T) {
+	cfg := pathload.Config{
+		PacketsPerStream: 8,
+		StreamsPerFleet:  3,
+		MaxFleets:        1,
+	}
+	// The init train probes at the generation limit; recover its exact
+	// stream parameters from the same exported helpers Run uses.
+	l, period := cfg.StreamParams(cfg.GenerationLimit())
+
+	// A 20-packet train with a constant 50 µs of added dispersion per
+	// packet, packets 3–9 and 15 lost: survivors still span seq 0…19.
+	const disp = 50 * time.Microsecond
+	var owds []pathload.OWDSample
+	received := 0
+	for i := 0; i < 20; i++ {
+		if (i >= 3 && i <= 9) || i == 15 {
+			continue
+		}
+		owds = append(owds, pathload.OWDSample{Seq: i, OWD: 5*time.Millisecond + time.Duration(i)*disp})
+		received++
+	}
+
+	res, err := pathload.Run(&adrScript{owds: owds}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	span := 19*period + 19*disp
+	want := 19 * float64(l) * 8 / span.Seconds()
+	if got := res.ADR; got < want*0.999 || got > want*1.001 {
+		t.Errorf("ADR = %.3f Mb/s, want %.3f (seq-span formula)", got/1e6, want/1e6)
+	}
+	// The formula the stale comment described: a count of received
+	// packets over the same span. Losses make it a different number —
+	// the implementation must not drift back to it.
+	naive := float64(received-1) * float64(l) * 8 / span.Seconds()
+	if rel := math.Abs(res.ADR-naive) / want; rel < 0.2 {
+		t.Errorf("ADR %.3f Mb/s indistinguishable from the naive received-count formula %.3f on a lossy train", res.ADR/1e6, naive/1e6)
 	}
 }
 
