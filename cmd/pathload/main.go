@@ -453,7 +453,9 @@ func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[str
 		sims[i] = nets[i].Sim
 		avail[pathID(i)] = topo.AvailBw()
 	}
-	netsim.NewLockstep(0, sims...).AdvanceTo(3 * netsim.Second)
+	warm := netsim.NewLockstep(0, sims...)
+	warm.AdvanceTo(3 * netsim.Second)
+	warm.Close()
 
 	mon, err := pathload.NewMonitor(cfg)
 	if err != nil {

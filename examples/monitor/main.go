@@ -38,7 +38,9 @@ func main() {
 	}
 	// Warm every shard to steady state in parallel, on one lockstep
 	// virtual clock.
-	netsim.NewLockstep(0, sims...).AdvanceTo(3 * netsim.Second)
+	warm := netsim.NewLockstep(0, sims...)
+	warm.AdvanceTo(3 * netsim.Second)
+	warm.Close()
 
 	store := tsstore.New(tsstore.Config{}) // per-path rings + digests
 	mon, err := pathload.NewMonitor(pathload.MonitorConfig{

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	return Report{Schema: ReportSchema, GoVersion: "go-test", Benchmarks: results}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := report(
+		Result{Name: "Hot", NsPerOp: 100, AllocsPerOp: 0},
+		Result{Name: "Warm", NsPerOp: 1000, AllocsPerOp: 10},
+	)
+
+	cases := []struct {
+		name string
+		cur  Report
+		tol  float64
+		want []string // substrings of expected violations, empty = pass
+	}{
+		{"identical", base, 50, nil},
+		{"within tolerance", report(
+			Result{Name: "Hot", NsPerOp: 140, AllocsPerOp: 0},
+			Result{Name: "Warm", NsPerOp: 1400, AllocsPerOp: 12},
+		), 50, nil},
+		{"ns regression", report(
+			Result{Name: "Hot", NsPerOp: 300, AllocsPerOp: 0},
+			Result{Name: "Warm", NsPerOp: 1000, AllocsPerOp: 10},
+		), 50, []string{"Hot", "exceeds baseline"}},
+		{"new allocations on free path", report(
+			Result{Name: "Hot", NsPerOp: 100, AllocsPerOp: 1},
+			Result{Name: "Warm", NsPerOp: 1000, AllocsPerOp: 10},
+		), 50, []string{"Hot", "allocation-free"}},
+		{"alloc regression", report(
+			Result{Name: "Hot", NsPerOp: 100, AllocsPerOp: 0},
+			Result{Name: "Warm", NsPerOp: 1000, AllocsPerOp: 40},
+		), 50, []string{"Warm", "allocs/op"}},
+		{"missing benchmark", report(
+			Result{Name: "Hot", NsPerOp: 100, AllocsPerOp: 0},
+		), 50, []string{"Warm", "missing"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compare(base, tc.cur, tc.tol)
+			if len(tc.want) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("unexpected violations: %v", got)
+				}
+				return
+			}
+			if len(got) != 1 {
+				t.Fatalf("got %d violations %v, want 1", len(got), got)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(got[0], sub) {
+					t.Fatalf("violation %q missing %q", got[0], sub)
+				}
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := report(Result{Name: "Hot", N: 7, NsPerOp: 12.5, AllocsPerOp: 0,
+		Extra: map[string]float64{"events/s": 8.2e6}})
+	rep.GOOS, rep.GOARCH, rep.CPUs = "linux", "amd64", 4
+	if err := WriteJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.Benchmarks[0]
+	if b.Name != "Hot" || b.N != 7 || b.NsPerOp != 12.5 || b.Extra["events/s"] != 8.2e6 {
+		t.Fatalf("round trip mismatch: %+v", b)
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := report()
+	rep.Schema = "something-else/9"
+	if err := WriteJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	for _, tc := range []struct {
+		name, filter string
+		want         bool
+	}{
+		{"EventQScheduleFire", "", true},
+		{"EventQScheduleFire", "all", true},
+		{"EventQScheduleFire", "eventq", true},
+		{"EventQScheduleFire", "Lockstep", false},
+	} {
+		if got := Matches(tc.name, tc.filter); got != tc.want {
+			t.Errorf("Matches(%q, %q) = %v, want %v", tc.name, tc.filter, got, tc.want)
+		}
+	}
+}
+
+// TestSuiteNamesUnique guards the report and gate keying on names.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bm := range Suite() {
+		if seen[bm.Name] {
+			t.Fatalf("duplicate suite name %q", bm.Name)
+		}
+		seen[bm.Name] = true
+		if bm.Fn == nil {
+			t.Fatalf("suite entry %q has no function", bm.Name)
+		}
+	}
+}

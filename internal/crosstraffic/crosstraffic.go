@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/eventq"
 	"repro/internal/netsim"
 )
 
@@ -107,6 +108,10 @@ func (f FixedSize) MeanBytes() float64 { return float64(f.Bytes) }
 // A Source injects packets into a route at random times. Sources are
 // started with Start and removed with Stop; a stopped source can be
 // restarted.
+//
+// The per-arrival path is allocation-free: the tick callback is bound
+// once, the pending-arrival handle is a value, and packets with a nil
+// sink come from (and return to) the simulator's packet freelist.
 type Source struct {
 	sim   *netsim.Simulator
 	route []*netsim.Link
@@ -115,18 +120,18 @@ type Source struct {
 	sizes SizeDist
 	rng   *rand.Rand
 
-	next   *eventHandle
-	nextID uint64
+	tickFn  func()
+	next    eventq.Handle
+	started bool
+	nextID  uint64
 }
-
-type eventHandle struct{ cancel func() bool }
 
 // NewSource creates a traffic source that injects packets over route
 // and discards them at the end (or delivers them to sink if non-nil).
 // Each source owns its RNG so that experiments are reproducible and
 // sources are statistically independent.
 func NewSource(sim *netsim.Simulator, route []*netsim.Link, sink netsim.Sink, iat Interarrival, sizes SizeDist, seed int64) *Source {
-	return &Source{
+	s := &Source{
 		sim:   sim,
 		route: route,
 		sink:  sink,
@@ -134,6 +139,8 @@ func NewSource(sim *netsim.Simulator, route []*netsim.Link, sink netsim.Sink, ia
 		sizes: sizes,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	s.tickFn = s.tick
+	return s
 }
 
 // Start schedules the source's first arrival at a random fraction of an
@@ -142,39 +149,36 @@ func NewSource(sim *netsim.Simulator, route []*netsim.Link, sink netsim.Sink, ia
 // particular) fire in lockstep and the "aggregate" degenerates into
 // periodic bursts. Starting a started source is a no-op.
 func (s *Source) Start() {
-	if s.next != nil {
+	if s.started {
 		return
 	}
+	s.started = true
 	first := netsim.Time(s.rng.Float64() * float64(s.iat.Next(s.rng)))
-	ev := s.sim.After(first, func() {
-		s.emit()
-		s.schedule()
-	})
-	s.next = &eventHandle{cancel: func() bool { return s.sim.Cancel(ev) }}
+	s.next = s.sim.After(first, s.tickFn)
+}
+
+// tick emits one packet and schedules the next arrival.
+func (s *Source) tick() {
+	s.emit()
+	s.next = s.sim.After(s.iat.Next(s.rng), s.tickFn)
 }
 
 // emit injects one packet now.
 func (s *Source) emit() {
 	s.nextID++
-	pkt := &netsim.Packet{ID: s.nextID, Size: s.sizes.Next(s.rng)}
+	pkt := s.sim.NewPacket()
+	pkt.ID = s.nextID
+	pkt.Size = s.sizes.Next(s.rng)
 	s.sim.Inject(pkt, s.route, s.sink)
 }
 
 // Stop cancels the source's pending arrival.
 func (s *Source) Stop() {
-	if s.next != nil {
-		s.next.cancel()
-		s.next = nil
+	if s.started {
+		s.sim.Cancel(s.next)
+		s.next = eventq.Handle{}
+		s.started = false
 	}
-}
-
-func (s *Source) schedule() {
-	d := s.iat.Next(s.rng)
-	ev := s.sim.After(d, func() {
-		s.emit()
-		s.schedule()
-	})
-	s.next = &eventHandle{cancel: func() bool { return s.sim.Cancel(ev) }}
 }
 
 // Model selects an interarrival family for aggregates.

@@ -51,21 +51,22 @@ func TestTieBreakBySchedulingOrder(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	ran := false
-	e1 := q.Schedule(1, func() { ran = true })
-	e2 := q.Schedule(2, func() {})
-	if !q.Cancel(e1) {
+	h1 := q.Schedule(1, func() { ran = true })
+	q.Schedule(2, func() {})
+	if !q.Cancel(h1) {
 		t.Fatal("Cancel of pending event reported false")
 	}
-	if q.Cancel(e1) {
+	if q.Cancel(h1) {
 		t.Fatal("second Cancel reported true")
 	}
-	if e1.Pending() {
+	if h1.Pending() {
 		t.Fatal("cancelled event still pending")
 	}
-	if got := q.Pop(); got != e2 {
-		t.Fatalf("popped %v, want the uncancelled event", got)
+	e := q.Pop()
+	if e == nil || e.At() != 2 {
+		t.Fatalf("popped %v, want the uncancelled event at t=2", e)
 	}
-	e1.Fire() // must be a no-op
+	e.Fire()
 	if ran {
 		t.Fatal("cancelled event callback ran")
 	}
@@ -75,7 +76,7 @@ func TestCancel(t *testing.T) {
 // integrity afterwards.
 func TestCancelMiddleKeepsOrder(t *testing.T) {
 	var q Queue
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 100; i++ {
 		events = append(events, q.Schedule(int64(i%17), func() {}))
 	}
@@ -109,14 +110,17 @@ func TestPeekTime(t *testing.T) {
 	}
 }
 
-// TestPopEmpty checks nil behavior.
+// TestPopEmpty checks empty-queue and zero-handle behavior.
 func TestPopEmpty(t *testing.T) {
 	var q Queue
 	if q.Pop() != nil {
 		t.Fatal("Pop on empty queue returned an event")
 	}
-	if q.Cancel(nil) {
-		t.Fatal("Cancel(nil) reported true")
+	if q.Cancel(Handle{}) {
+		t.Fatal("Cancel of the zero Handle reported true")
+	}
+	if (Handle{}).Pending() {
+		t.Fatal("zero Handle reports pending")
 	}
 }
 
@@ -124,13 +128,82 @@ func TestPopEmpty(t *testing.T) {
 func TestFireOnce(t *testing.T) {
 	var q Queue
 	n := 0
-	e := q.Schedule(1, func() { n++ })
-	q.Pop()
+	q.Schedule(1, func() { n++ })
+	e := q.Pop()
 	e.Fire()
 	e.Fire()
 	if n != 1 {
 		t.Fatalf("callback ran %d times, want 1", n)
 	}
+}
+
+// TestRecycleInvalidatesStaleHandles is the freelist-safety property:
+// a handle kept past its event's firing must not cancel (or report
+// pending for) the recycled event's next incarnation.
+func TestRecycleInvalidatesStaleHandles(t *testing.T) {
+	var q Queue
+	stale := q.Schedule(1, func() {})
+	e := q.Pop()
+	e.Fire()
+	q.Recycle(e)
+
+	ran := false
+	fresh := q.Schedule(2, func() { ran = true })
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after its event was recycled")
+	}
+	if q.Cancel(stale) {
+		t.Fatal("stale handle cancelled the recycled event's next incarnation")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh handle not pending")
+	}
+	e2 := q.Pop()
+	e2.Fire()
+	q.Recycle(e2)
+	if !ran {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+// TestScheduleRecyclesAllocationFree pins the hot-path contract: once
+// the freelist is primed, Schedule/Pop/Fire/Recycle allocates nothing.
+func TestScheduleRecyclesAllocationFree(t *testing.T) {
+	var q Queue
+	at := int64(0)
+	fn := func() {}
+	// Prime the freelist and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		q.Schedule(at, fn)
+	}
+	for q.Len() > 0 {
+		e := q.Pop()
+		e.Fire()
+		q.Recycle(e)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		at++
+		q.Schedule(at, fn)
+		e := q.Pop()
+		e.Fire()
+		q.Recycle(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule/Pop/Recycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRecyclePendingPanics documents that events still in the heap must
+// not be recycled.
+func TestRecyclePendingPanics(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("recycling a pending event did not panic")
+		}
+	}()
+	q.Recycle(h.e)
 }
 
 // TestQuickSortedDrain is the property test: any multiset of scheduled
@@ -139,7 +212,7 @@ func TestQuickSortedDrain(t *testing.T) {
 	f := func(times []int64, cancelMask []bool, seed int64) bool {
 		var q Queue
 		rng := rand.New(rand.NewSource(seed))
-		var events []*Event
+		var events []Handle
 		for _, at := range times {
 			events = append(events, q.Schedule(at%1000, func() {}))
 		}
@@ -166,5 +239,25 @@ func TestQuickSortedDrain(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleFire measures the recycled Schedule→Pop→Fire→Recycle
+// cycle at a realistic standing queue depth.
+func BenchmarkScheduleFire(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	at := int64(0)
+	for i := 0; i < 1024; i++ {
+		q.Schedule(at+int64(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at++
+		q.Schedule(at+1024, fn)
+		e := q.Pop()
+		e.Fire()
+		q.Recycle(e)
 	}
 }

@@ -340,7 +340,9 @@ func runAdaptiveFleet(name string, opt Options, cfg pathload.Config, sched sched
 		states[i] = pathState{topo: topo, net: net, extra: extra, volatile: volatile, up: up}
 		sims[i] = net.Sim
 	}
-	netsim.NewLockstep(0, sims...).AdvanceTo(warmup)
+	warm := netsim.NewLockstep(0, sims...)
+	warm.AdvanceTo(warmup)
+	warm.Close()
 
 	store := tsstore.New(tsstore.Config{})
 	sink := &timeStepSink{store: store, stepAt: step, steps: map[string]func(){}, firedAt: map[string]time.Duration{}}

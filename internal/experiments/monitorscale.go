@@ -20,6 +20,12 @@ import (
 // the fleet shape is always exercised.
 const ScaleFleetPaths = 64
 
+// Scale10kPaths is the extended fleet tier: ten thousand concurrent
+// path shards, the scale target the allocation-free simulator core is
+// built for. Rounds drop to one — the tier exercises fleet breadth,
+// not per-path dynamics.
+const Scale10kPaths = 10_000
+
 // scaleFullRounds is the paper-scale number of re-measurement rounds
 // per path.
 const scaleFullRounds = 6
@@ -75,12 +81,12 @@ func (r ScaleResult) Coverage() float64 {
 // scaleTopology derives the fleet's per-path topologies: capacities
 // cycle through the paper's link classes and utilization sweeps
 // [0.15, 0.75], so the fleet spans quiet to heavily loaded paths.
-func scaleTopology(i int, seed int64) Topology {
+func scaleTopology(i, paths int, seed int64) Topology {
 	caps := []float64{6.1e6, 10e6, 12.4e6, 24e6}
 	return Topology{
 		Hops:          1,
 		TightCap:      caps[i%len(caps)],
-		TightUtil:     0.15 + 0.60*float64(i)/float64(ScaleFleetPaths-1),
+		TightUtil:     0.15 + 0.60*float64(i)/float64(paths-1),
 		SourcesPerHop: 4,
 		Model:         crosstraffic.ModelCBR,
 		Seed:          seed + int64(i)*7_919_317,
@@ -97,17 +103,29 @@ func scaleTopology(i int, seed int64) Topology {
 // regardless of host scheduling.
 func DynamicsAtScale(opt Options) ScaleResult {
 	opt = opt.withDefaults()
-	rounds := opt.runs(scaleFullRounds)
+	return dynamicsAtScale(opt, ScaleFleetPaths, opt.runs(scaleFullRounds))
+}
 
-	nets := make([]*Net, ScaleFleetPaths)
-	sims := make([]*netsim.Simulator, ScaleFleetPaths)
-	monitors := make([]*mrtg.Monitor, ScaleFleetPaths)
+// DynamicsAtScale10k is the extended tier: the same fleet shape at
+// Scale10kPaths shards and a single round per path. One 10k run sweeps
+// the whole utilization range at far finer granularity than the 64-path
+// tier, and its wall clock is the simulator core's scaling benchmark.
+func DynamicsAtScale10k(opt Options) ScaleResult {
+	return dynamicsAtScale(opt.withDefaults(), Scale10kPaths, 1)
+}
+
+func dynamicsAtScale(opt Options, paths, rounds int) ScaleResult {
+	nets := make([]*Net, paths)
+	sims := make([]*netsim.Simulator, paths)
+	monitors := make([]*mrtg.Monitor, paths)
 	for i := range nets {
-		nets[i] = scaleTopology(i, opt.Seed).Build()
+		nets[i] = scaleTopology(i, paths, opt.Seed).Build()
 		sims[i] = nets[i].Sim
 		monitors[i] = mrtg.NewMonitor(nets[i].Sim, nets[i].Tight(), 500*netsim.Millisecond)
 	}
-	netsim.NewLockstep(0, sims...).AdvanceTo(warmup)
+	warm := netsim.NewLockstep(0, sims...)
+	warm.AdvanceTo(warmup)
+	warm.Close()
 	for _, m := range monitors {
 		m.Start()
 	}
@@ -134,7 +152,7 @@ func DynamicsAtScale(opt Options) ScaleResult {
 		panic(fmt.Sprintf("experiments: dynamics-at-scale: %v", err))
 	}
 
-	series := make(map[string][]pathload.Sample, ScaleFleetPaths)
+	series := make(map[string][]pathload.Sample, paths)
 	for s := range mon.Results() {
 		if s.Err != nil {
 			panic(fmt.Sprintf("experiments: dynamics-at-scale: %s round %d: %v", s.Path, s.Round, s.Err))

@@ -110,6 +110,42 @@ func RenderScale(r ScaleResult) string {
 	return b.String()
 }
 
+// RenderScaleSummary formats a large-fleet scale run as aggregates — a
+// 10k-path tier would print ten thousand rows through RenderScale, so
+// this reports fleet-wide coverage, event totals, and throughput, plus
+// coverage split by utilization quartile as the per-path sanity check.
+func RenderScaleSummary(r ScaleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dynamics at scale (summary): %d paths × %d rounds, %d workers\n",
+		len(r.Paths), r.Rounds, r.Workers)
+	secs := r.Wall.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	fmt.Fprintf(&b, "events: %.1fM total, %.2fM events/s; throughput: %.0f path-measurements/s (%.1fs wall)\n",
+		float64(r.Events)/1e6, float64(r.Events)/1e6/secs,
+		float64(len(r.Paths)*r.Rounds)/secs, r.Wall.Seconds())
+	// The fleet's utilization sweeps low→high with the path index, so
+	// index quartiles are utilization quartiles.
+	fmt.Fprintf(&b, "%-22s %8s %8s\n", "utilization quartile", "paths", "coverage")
+	n := len(r.Paths)
+	for q := 0; q < 4 && n > 0; q++ {
+		lo, hi := q*n/4, (q+1)*n/4
+		var covered, total int
+		for _, p := range r.Paths[lo:hi] {
+			covered += p.Covered
+			total += len(p.Points)
+		}
+		cov := 0.0
+		if total > 0 {
+			cov = float64(covered) / float64(total)
+		}
+		fmt.Fprintf(&b, "Q%d (paths %d..%d) %8d %7.0f%%\n", q+1, lo, hi-1, hi-lo, cov*100)
+	}
+	fmt.Fprintf(&b, "coverage (range brackets true A within ω+χ): %.0f%%\n", r.Coverage()*100)
+	return b.String()
+}
+
 // RenderTrajectory formats the avail-bw trajectory experiment: one row
 // per path with the configured avail-bw and the stored series' window
 // aggregates on either side of the mid-run cross-traffic step.

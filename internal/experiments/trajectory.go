@@ -176,7 +176,9 @@ func AvailBwTrajectory(opt Options) TrajectoryResult {
 		states[i] = pathState{net: net, extra: extra, up: up}
 		sims[i] = net.Sim
 	}
-	netsim.NewLockstep(0, sims...).AdvanceTo(warmup)
+	warm := netsim.NewLockstep(0, sims...)
+	warm.AdvanceTo(warmup)
+	warm.Close()
 
 	store := tsstore.New(tsstore.Config{})
 	sink := &stepSink{inner: store, round: stepRound - 1, steps: map[string]func(){}}

@@ -18,6 +18,11 @@ type LinkCounters struct {
 // transmission at max(t, end of previous transmission) and occupies the
 // line for 8·Size/Capacity seconds; the packet then arrives at the next
 // hop after the propagation delay.
+//
+// The per-packet event path is allocation-free: because service and
+// propagation complete in FIFO order per link, the link keeps its
+// in-flight packets in two rings and schedules two prebound callbacks
+// (no per-packet closures), each of which pops its ring's head.
 type Link struct {
 	sim      *Simulator
 	name     string
@@ -30,8 +35,30 @@ type Link struct {
 
 	ctr LinkCounters
 
+	// inService and propagating are FIFO rings of packets being
+	// transmitted and in flight to the next hop; their heads are popped
+	// by txDoneFn and propFn, bound once at NewLink.
+	inService   ring[txRec]
+	propagating ring[propRec]
+	txDoneFn    func()
+	propFn      func()
+
 	onTransmit []func(pkt *Packet, done Time)
 	onDrop     []func(pkt *Packet, at Time)
+}
+
+// txRec is one packet in service: its transmission time and completion
+// instant, recorded at arrival so the completion callback needs no
+// closure state.
+type txRec struct {
+	pkt      *Packet
+	tx, done Time
+}
+
+// propRec is one packet propagating toward the next hop.
+type propRec struct {
+	pkt *Packet
+	at  Time
 }
 
 // NewLink creates a link attached to sim. capacity is in bits per
@@ -45,7 +72,10 @@ func NewLink(sim *Simulator, name string, capacity int64, prop Time, bufBytes in
 	if prop < 0 || bufBytes < 0 {
 		panic(fmt.Sprintf("netsim: link %q: negative propagation delay or buffer", name))
 	}
-	return &Link{sim: sim, name: name, capacity: capacity, prop: prop, buf: bufBytes}
+	l := &Link{sim: sim, name: name, capacity: capacity, prop: prop, buf: bufBytes}
+	l.txDoneFn = l.txDone
+	l.propFn = l.propArrive
+	return l
 }
 
 // Name returns the link's diagnostic name.
@@ -102,6 +132,9 @@ func (l *Link) arrive(pkt *Packet, at Time) {
 		for _, fn := range l.onDrop {
 			fn(pkt, at)
 		}
+		if pkt.sink == nil {
+			l.sim.FreePacket(pkt)
+		}
 		return
 	}
 	l.queued += pkt.Size
@@ -112,18 +145,66 @@ func (l *Link) arrive(pkt *Packet, at Time) {
 	tx := l.TxTime(pkt.Size)
 	done := start + tx
 	l.busyUntil = done
-	l.sim.Schedule(done, func() {
-		l.queued -= pkt.Size
-		l.ctr.PktsOut++
-		l.ctr.BytesOut += uint64(pkt.Size)
-		l.ctr.Busy += tx
-		for _, fn := range l.onTransmit {
-			fn(pkt, done)
-		}
-		if l.prop == 0 {
-			pkt.forward(done)
-		} else {
-			l.sim.Schedule(done+l.prop, func() { pkt.forward(done + l.prop) })
-		}
-	})
+	l.inService.push(txRec{pkt: pkt, tx: tx, done: done})
+	l.sim.Schedule(done, l.txDoneFn)
+}
+
+// txDone completes the head of the in-service ring. Completions are
+// FIFO because busyUntil never decreases, so the ring head is always
+// the packet whose event is firing.
+func (l *Link) txDone() {
+	rec := l.inService.pop()
+	pkt := rec.pkt
+	l.queued -= pkt.Size
+	l.ctr.PktsOut++
+	l.ctr.BytesOut += uint64(pkt.Size)
+	l.ctr.Busy += rec.tx
+	for _, fn := range l.onTransmit {
+		fn(pkt, rec.done)
+	}
+	if l.prop == 0 {
+		pkt.forward(l.sim, rec.done)
+	} else {
+		l.propagating.push(propRec{pkt: pkt, at: rec.done + l.prop})
+		l.sim.Schedule(rec.done+l.prop, l.propFn)
+	}
+}
+
+// propArrive delivers the head of the propagation ring to the next hop.
+// Arrivals are FIFO because completion times are nondecreasing and the
+// propagation delay is constant per link.
+func (l *Link) propArrive() {
+	rec := l.propagating.pop()
+	rec.pkt.forward(l.sim, rec.at)
+}
+
+// ring is an amortized allocation-free FIFO queue.
+type ring[T any] struct {
+	buf  []T
+	head int
+}
+
+// push appends v, compacting the dead head region first when it
+// dominates the buffer.
+func (r *ring[T]) push(v T) {
+	if r.head > 64 && r.head > len(r.buf)/2 {
+		n := copy(r.buf, r.buf[r.head:])
+		clear(r.buf[n:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+	r.buf = append(r.buf, v)
+}
+
+// pop removes and returns the oldest element.
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+	return v
 }

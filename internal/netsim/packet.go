@@ -15,9 +15,38 @@ type Packet struct {
 	SentAt  Time // stamped by Inject
 	Payload any
 
-	route []*Link
-	hop   int
-	sink  Sink
+	route  []*Link
+	hop    int
+	sink   Sink
+	pooled bool // allocated by NewPacket; recyclable via FreePacket
+}
+
+// NewPacket returns a packet from the simulator's freelist (or a fresh
+// one), for allocation-free per-packet hot paths. Ownership rules: a
+// pooled packet injected with a nil sink is recycled automatically when
+// it leaves the network (delivery or drop); with a non-nil sink,
+// ownership passes to the sink, which may return it with FreePacket
+// once it no longer holds any reference (including Payload).
+func (s *Simulator) NewPacket() *Packet {
+	if n := len(s.pktFree); n > 0 {
+		pkt := s.pktFree[n-1]
+		s.pktFree[n-1] = nil
+		s.pktFree = s.pktFree[:n-1]
+		return pkt
+	}
+	return &Packet{pooled: true}
+}
+
+// FreePacket returns a pooled packet to the freelist. Packets not
+// allocated by NewPacket are ignored (the caller owns them outright),
+// so generic sinks can call it unconditionally.
+func (s *Simulator) FreePacket(pkt *Packet) {
+	if pkt == nil || !pkt.pooled {
+		return
+	}
+	pkt.ID, pkt.Size, pkt.SentAt, pkt.Payload = 0, 0, 0, nil
+	pkt.route, pkt.hop, pkt.sink = nil, 0, nil
+	s.pktFree = append(s.pktFree, pkt)
 }
 
 // Inject introduces a packet into the network at the first link of
@@ -35,6 +64,8 @@ func (s *Simulator) Inject(pkt *Packet, route []*Link, sink Sink) {
 	if len(route) == 0 {
 		if sink != nil {
 			sink(pkt, s.now)
+		} else {
+			s.FreePacket(pkt)
 		}
 		return
 	}
@@ -43,7 +74,7 @@ func (s *Simulator) Inject(pkt *Packet, route []*Link, sink Sink) {
 
 // forward moves the packet to its next hop, or delivers it to the sink
 // when the route is exhausted.
-func (pkt *Packet) forward(at Time) {
+func (pkt *Packet) forward(sim *Simulator, at Time) {
 	pkt.hop++
 	if pkt.hop < len(pkt.route) {
 		pkt.route[pkt.hop].arrive(pkt, at)
@@ -51,5 +82,7 @@ func (pkt *Packet) forward(at Time) {
 	}
 	if pkt.sink != nil {
 		pkt.sink(pkt, at)
+	} else {
+		sim.FreePacket(pkt)
 	}
 }

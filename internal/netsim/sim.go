@@ -27,6 +27,9 @@ type Simulator struct {
 	q      eventq.Queue
 	now    Time
 	events uint64
+	// pktFree recycles packets allocated by NewPacket whose ownership
+	// returned to the simulator (nil-sink delivery, drop); see FreePacket.
+	pktFree []*Packet
 }
 
 // NewSimulator returns a simulator with time set to zero.
@@ -42,8 +45,10 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Events() uint64 { return s.events }
 
 // Schedule runs fn at the given absolute simulated time. Scheduling in
-// the past panics: it would make the event order ill-defined.
-func (s *Simulator) Schedule(at Time, fn func()) *eventq.Event {
+// the past panics: it would make the event order ill-defined. The
+// returned handle is a value; keeping it past the event's firing is
+// safe (it goes stale rather than aliasing a recycled event).
+func (s *Simulator) Schedule(at Time, fn func()) eventq.Handle {
 	if at < s.now {
 		panic(fmt.Sprintf("netsim: scheduling event at %v before now %v", at, s.now))
 	}
@@ -51,13 +56,13 @@ func (s *Simulator) Schedule(at Time, fn func()) *eventq.Event {
 }
 
 // After runs fn after duration d of simulated time.
-func (s *Simulator) After(d Time, fn func()) *eventq.Event {
+func (s *Simulator) After(d Time, fn func()) eventq.Handle {
 	return s.Schedule(s.now+d, fn)
 }
 
 // Cancel removes a pending event. It reports whether the event was
-// still pending.
-func (s *Simulator) Cancel(e *eventq.Event) bool { return s.q.Cancel(e) }
+// still pending; stale and zero handles report false.
+func (s *Simulator) Cancel(h eventq.Handle) bool { return s.q.Cancel(h) }
 
 // Run executes events until the given absolute time. On return, Now()
 // equals until, even if the queue drained earlier: virtual time always
@@ -72,6 +77,7 @@ func (s *Simulator) Run(until Time) {
 		s.now = Time(at)
 		s.events++
 		e.Fire()
+		s.q.Recycle(e)
 	}
 	if until > s.now {
 		s.now = until
@@ -96,6 +102,7 @@ func (s *Simulator) Step(limit Time) bool {
 	s.now = Time(at)
 	s.events++
 	e.Fire()
+	s.q.Recycle(e)
 	return true
 }
 
@@ -115,6 +122,7 @@ func (s *Simulator) RunUntil(cond func() bool, deadline Time) bool {
 		s.now = Time(at)
 		s.events++
 		e.Fire()
+		s.q.Recycle(e)
 		if cond() {
 			return true
 		}

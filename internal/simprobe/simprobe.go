@@ -142,6 +142,31 @@ func (p *Prober) Idle(d time.Duration) error {
 	return nil
 }
 
+// arrival is one received probe packet's sequence number and OWD.
+type arrival struct {
+	seq int
+	owd netsim.Time
+}
+
+// streamInjector injects one stream's pre-built packets in sequence
+// order through a single prebound callback, so scheduling the K
+// injections of a stream allocates per stream, not per packet.
+type streamInjector struct {
+	sim     *netsim.Simulator
+	route   []*netsim.Link
+	pending []*netsim.Packet
+	idx     int
+	sink    netsim.Sink
+	fireFn  func()
+}
+
+func (inj *streamInjector) fire() {
+	pkt := inj.pending[inj.idx]
+	inj.pending[inj.idx] = nil
+	inj.idx++
+	inj.sim.Inject(pkt, inj.route, inj.sink)
+}
+
 // SendStream schedules the K packet injections of one periodic stream,
 // runs the simulation until every packet has arrived or timed out, and
 // returns the per-packet relative OWDs.
@@ -151,33 +176,35 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 	}
 	period := netsim.FromDuration(spec.T)
 
-	type arrival struct {
-		seq int
-		owd netsim.Time
-	}
 	var got []arrival
 	res := pathload.StreamResult{Sent: spec.K}
 
 	p.section(func(sim *netsim.Simulator) (func() bool, netsim.Time) {
 		start := sim.Now()
+		got = make([]arrival, 0, spec.K)
+		tags := make([]probeTag, spec.K)
+		inj := &streamInjector{sim: sim, route: p.route, pending: make([]*netsim.Packet, spec.K)}
+		inj.fireFn = inj.fire
+		inj.sink = func(pk *netsim.Packet, at netsim.Time) {
+			tag := pk.Payload.(*probeTag)
+			got = append(got, arrival{seq: tag.seq, owd: at - pk.SentAt})
+			sim.FreePacket(pk)
+		}
 		for i := 0; i < spec.K; i++ {
-			i := i
-			pkt := &netsim.Packet{
-				ID:      p.pktID(),
-				Size:    spec.L,
-				Payload: probeTag{stream: spec.Index, seq: i},
-			}
-			sim.Schedule(start+netsim.Time(i)*period, func() {
-				sim.Inject(pkt, p.route, func(pk *netsim.Packet, at netsim.Time) {
-					got = append(got, arrival{seq: i, owd: at - pk.SentAt})
-				})
-			})
+			pkt := sim.NewPacket()
+			pkt.ID = p.pktID()
+			pkt.Size = spec.L
+			tags[i] = probeTag{stream: spec.Index, seq: i}
+			pkt.Payload = &tags[i]
+			inj.pending[i] = pkt
+			sim.Schedule(start+netsim.Time(i)*period, inj.fireFn)
 		}
 		// The stream finishes sending at start + K·T; give arrivals until
 		// the base path delay plus a generous queueing allowance.
 		deadline := start + netsim.Time(spec.K)*period + p.baseDelay(spec.L) + p.LossTimeout
 		return func() bool { return len(got) == spec.K }, deadline
 	}, func() {
+		res.OWDs = make([]pathload.OWDSample, 0, len(got))
 		for _, a := range got {
 			res.OWDs = append(res.OWDs, pathload.OWDSample{
 				Seq: a.seq,

@@ -101,7 +101,7 @@ type Flow struct {
 	// RTT estimation (RFC 6298 shape).
 	srtt, rttvar, rto netsim.Time
 	rtoBackoff        int
-	rtoTimer          *eventq.Event
+	rtoTimer          eventq.Handle
 	sendTimes         map[int64]netsim.Time // segment end-seq → first-send time
 
 	// Receiver state.
@@ -397,10 +397,10 @@ func (f *Flow) armRTOTimer() {
 
 // ensureRTOTimer arms the timer only when it is not already pending.
 func (f *Flow) ensureRTOTimer() {
-	if f.rtoTimer != nil && f.rtoTimer.Pending() {
+	if f.rtoTimer.Pending() {
 		return
 	}
-	f.rtoTimer = nil
+	f.rtoTimer = eventq.Handle{}
 	if f.flight() == 0 || !f.running {
 		return
 	}
@@ -412,10 +412,8 @@ func (f *Flow) ensureRTOTimer() {
 }
 
 func (f *Flow) stopRTOTimer() {
-	if f.rtoTimer != nil {
-		f.sim.Cancel(f.rtoTimer)
-		f.rtoTimer = nil
-	}
+	f.sim.Cancel(f.rtoTimer)
+	f.rtoTimer = eventq.Handle{}
 }
 
 // onRTO handles a retransmission timeout: multiplicative back-off,

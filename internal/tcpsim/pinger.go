@@ -25,7 +25,8 @@ type Pinger struct {
 
 	samples []PingSample
 	sent    int
-	timer   *eventq.Event
+	timer   eventq.Handle
+	running bool
 }
 
 // NewPinger creates a pinger sending size-byte probes (64 bytes if 0 —
@@ -39,17 +40,19 @@ func NewPinger(sim *netsim.Simulator, route []*netsim.Link, reverse, interval ne
 
 // Start begins probing immediately.
 func (p *Pinger) Start() {
-	if p.timer != nil {
+	if p.running {
 		return
 	}
+	p.running = true
 	p.fire()
 }
 
 // Stop cancels further probes.
 func (p *Pinger) Stop() {
-	if p.timer != nil {
+	if p.running {
 		p.sim.Cancel(p.timer)
-		p.timer = nil
+		p.timer = eventq.Handle{}
+		p.running = false
 	}
 }
 

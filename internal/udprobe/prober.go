@@ -23,6 +23,14 @@ type ProberConfig struct {
 	// timeout). Without the pings, a re-measurement gap longer than the
 	// sender's timeout would get every healthy session reaped mid-gap.
 	KeepAlive time.Duration
+	// RTTRefresh bounds how stale the control-RTT estimate may get
+	// (default 30 s). The RTT is measured at Dial, but pathload uses it
+	// for the rest of the session — inter-stream gap floors and
+	// collection deadlines — and control latency drifts as routes and
+	// load change. A stream request finding the estimate older than
+	// this re-measures it with a timed ping first; keepalive pings
+	// refresh it as a side effect.
+	RTTRefresh time.Duration
 }
 
 func (c ProberConfig) withDefaults() ProberConfig {
@@ -35,6 +43,9 @@ func (c ProberConfig) withDefaults() ProberConfig {
 	if c.KeepAlive == 0 {
 		c.KeepAlive = 45 * time.Second
 	}
+	if c.RTTRefresh == 0 {
+		c.RTTRefresh = 30 * time.Second
+	}
 	return c
 }
 
@@ -44,11 +55,13 @@ func (c ProberConfig) withDefaults() ProberConfig {
 // One-way delays are relative — sender and receiver clocks are never
 // synchronized; SLoPS only consumes OWD differences.
 type Prober struct {
-	cfg  ProberConfig
-	ctrl net.Conn
-	udp  *net.UDPConn
-	rtt  time.Duration
-	buf  []byte
+	cfg     ProberConfig
+	ctrl    net.Conn
+	udp     *net.UDPConn
+	rtt     time.Duration
+	rttAt   time.Time // when rtt was last measured
+	version uint16
+	buf     []byte
 	// gen numbers this session's stream requests. The sender echoes it
 	// in every probe packet and in the StreamDone, so after an errored
 	// round the receiver can discard the abandoned request's late
@@ -58,38 +71,82 @@ type Prober struct {
 }
 
 // Dial connects to a sender daemon's control address and performs the
-// hello handshake. The returned prober must be closed after use.
+// hello handshake, negotiating the protocol version: it opens with the
+// version-3 range hello, and if the sender is too old to parse it
+// (pre-range senders drop the session on the 6-byte payload), it
+// redials once and falls back to the legacy exact-version form. The
+// returned prober must be closed after use.
 func Dial(senderAddr string, cfg ProberConfig) (*Prober, error) {
 	cfg = cfg.withDefaults()
 	udp, err := net.ListenUDP("udp", &net.UDPAddr{})
 	if err != nil {
 		return nil, fmt.Errorf("udprobe: data listen: %w", err)
 	}
+	port := uint16(udp.LocalAddr().(*net.UDPAddr).Port)
+
+	p, rangeErr := dialHandshake(senderAddr, cfg, udp, wire.MarshalHelloRange(wire.HelloRange{
+		Min: wire.VersionMin, Max: wire.Version, UDPPort: port,
+	}), wire.VersionMin)
+	if rangeErr == nil {
+		return p, nil
+	}
+	// A legacy sender read 6 bytes where it expected 4 and hung up; a
+	// modern sender that refuses [VersionMin, Version] outright would
+	// refuse the narrower legacy form too, so one fallback attempt is
+	// sound either way.
+	p, legacyErr := dialHandshake(senderAddr, cfg, udp, wire.MarshalHello(wire.Hello{
+		Version: wire.VersionMin, UDPPort: port,
+	}), wire.VersionMin)
+	if legacyErr != nil {
+		udp.Close()
+		return nil, fmt.Errorf("udprobe: hello handshake failed at both forms: range: %v; legacy: %w", rangeErr, legacyErr)
+	}
+	return p, nil
+}
+
+// dialHandshake runs one control connection attempt with the given
+// hello payload. ackFallback is the session version implied by a
+// legacy empty-payload ack — the exact version the hello proposed. On
+// error the control connection is closed; the UDP socket is the
+// caller's.
+func dialHandshake(senderAddr string, cfg ProberConfig, udp *net.UDPConn, hello []byte, ackFallback uint16) (*Prober, error) {
 	ctrl, err := net.DialTimeout("tcp", senderAddr, cfg.ControlTimeout)
 	if err != nil {
-		udp.Close()
 		return nil, fmt.Errorf("udprobe: control dial: %w", err)
 	}
 	p := &Prober{cfg: cfg, ctrl: ctrl, udp: udp, buf: make([]byte, 64<<10)}
-
-	port := uint16(udp.LocalAddr().(*net.UDPAddr).Port)
-	t0 := time.Now()
-	if err := p.writeCtrl(wire.MsgHello, wire.MarshalHello(wire.Hello{Version: wire.Version, UDPPort: port})); err != nil {
-		p.Close()
+	fail := func(err error) (*Prober, error) {
+		ctrl.Close()
 		return nil, err
 	}
-	mt, _, err := p.readCtrl()
+
+	t0 := time.Now()
+	if err := p.writeCtrl(wire.MsgHello, hello); err != nil {
+		return fail(err)
+	}
+	mt, payload, err := p.readCtrl()
 	if err != nil {
-		p.Close()
-		return nil, fmt.Errorf("udprobe: hello handshake: %w", err)
+		return fail(fmt.Errorf("udprobe: hello handshake: %w", err))
 	}
 	if mt != wire.MsgHelloAck {
-		p.Close()
-		return nil, fmt.Errorf("udprobe: expected hello-ack, got %v", mt)
+		return fail(fmt.Errorf("udprobe: expected hello-ack, got %v", mt))
 	}
 	p.rtt = time.Since(t0)
+	p.rttAt = time.Now()
+	ack, err := wire.UnmarshalHelloAck(payload, ackFallback)
+	if err != nil {
+		return fail(err)
+	}
+	if ack.Version < wire.VersionMin || ack.Version > wire.Version {
+		return fail(fmt.Errorf("udprobe: sender chose protocol version %d outside [%d, %d]", ack.Version, wire.VersionMin, wire.Version))
+	}
+	p.version = ack.Version
 	return p, nil
 }
+
+// NegotiatedVersion reports the protocol version the hello handshake
+// settled on.
+func (p *Prober) NegotiatedVersion() uint16 { return p.version }
 
 // Close says goodbye to the sender and releases sockets.
 func (p *Prober) Close() error {
@@ -105,8 +162,11 @@ func (p *Prober) Close() error {
 	return nil
 }
 
-// RTT reports the control-channel round-trip time measured at
-// handshake, pathload's floor for inter-stream gaps.
+// RTT reports the control-channel round-trip time, pathload's floor
+// for inter-stream gaps: measured at the handshake and re-measured by
+// ping exchanges — keepalives, and the pre-stream refresh whenever the
+// estimate is older than RTTRefresh — so a mid-session latency shift
+// shows up here instead of silently mis-sizing gaps and deadlines.
 func (p *Prober) RTT() time.Duration { return p.rtt }
 
 // Idle sleeps; on a real network, waiting is waiting — but a session
@@ -127,15 +187,20 @@ func (p *Prober) Idle(d time.Duration) error {
 	return nil
 }
 
-// ping runs one keepalive exchange on the control channel. Like
-// awaitStreamDone it resynchronizes rather than chokes: a StreamDone
-// arriving here is necessarily the late answer to a round the receiver
-// already gave up on (no request is outstanding during Idle), so it is
-// drained, not fatal.
+// ping runs one keepalive exchange on the control channel and, when
+// the exchange was clean, refreshes the control-RTT estimate from its
+// timing. Like awaitStreamDone it resynchronizes rather than chokes: a
+// StreamDone arriving here is necessarily the late answer to a round
+// the receiver already gave up on (no request is outstanding during
+// Idle), so it is drained, not fatal — but a drained frame means the
+// measured time covers more than one round trip, so it does not update
+// the estimate.
 func (p *Prober) ping() error {
+	t0 := time.Now()
 	if err := p.writeCtrl(wire.MsgPing, nil); err != nil {
 		return err
 	}
+	clean := true
 	for {
 		mt, _, err := p.readCtrl()
 		if err != nil {
@@ -143,9 +208,14 @@ func (p *Prober) ping() error {
 		}
 		switch mt {
 		case wire.MsgPong:
+			if clean {
+				p.rtt = time.Since(t0)
+				p.rttAt = time.Now()
+			}
 			return nil
 		case wire.MsgStreamDone:
 			// Stale answer to an abandoned round; keep draining.
+			clean = false
 		default:
 			return fmt.Errorf("udprobe: expected pong, got %v", mt)
 		}
@@ -170,6 +240,13 @@ func (p *Prober) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, er
 		PeriodNs: uint64(spec.T.Nanoseconds()),
 	}
 
+	// A stale RTT estimate mis-sizes the collection deadline below and
+	// the caller's inter-stream gaps; re-measure it first.
+	if time.Since(p.rttAt) > p.cfg.RTTRefresh {
+		if err := p.ping(); err != nil {
+			return res, err
+		}
+	}
 	if err := p.drainData(); err != nil {
 		return res, err
 	}

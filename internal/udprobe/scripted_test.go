@@ -1,6 +1,7 @@
 package udprobe
 
 import (
+	"fmt"
 	"net"
 	"strconv"
 	"sync"
@@ -64,7 +65,11 @@ func (s *scriptedSender) serve() {
 	if err != nil || mt != wire.MsgHello {
 		return
 	}
-	hello, err := wire.UnmarshalHello(payload)
+	hello, err := wire.ParseHello(payload)
+	if err != nil {
+		return
+	}
+	version, err := wire.Negotiate(hello.Min, hello.Max)
 	if err != nil {
 		return
 	}
@@ -78,7 +83,7 @@ func (s *scriptedSender) serve() {
 		return
 	}
 	defer udp.Close()
-	if err := wire.WriteMessage(conn, wire.MsgHelloAck, nil); err != nil {
+	if err := wire.WriteMessage(conn, wire.MsgHelloAck, wire.MarshalHelloAck(wire.HelloAck{Version: version})); err != nil {
 		return
 	}
 
@@ -335,5 +340,100 @@ func TestSenderSessionIdleTimeout(t *testing.T) {
 	defer p.Close()
 	if _, err := p.SendStream(pathload.StreamSpec{K: 10, L: 150, T: 300 * time.Microsecond}); err != nil {
 		t.Fatalf("SendStream after idle-session reap: %v", err)
+	}
+}
+
+// TestSenderEmissionGateSerializesOverlappingStreams: two sessions
+// firing stream requests at the same instant must not pace onto the
+// wire simultaneously — concurrent pacing loops skew each other's
+// interspacings. The admission gate (EmitConcurrency = 1) serializes
+// them, so the two streams' sender-timestamp windows are disjoint.
+func TestSenderEmissionGateSerializesOverlappingStreams(t *testing.T) {
+	addr, _ := startSenderCfg(t, SenderConfig{Logf: t.Logf})
+
+	type window struct {
+		lo, hi int64 // SentNs extremes observed on this session's data socket
+		sent   int
+		err    error
+	}
+	const k, periodNs = 100, 500_000 // 50 ms emission per stream
+
+	session := func(fleet uint32, release <-chan struct{}, out chan<- window) {
+		var w window
+		defer func() { out <- w }()
+		fail := func(err error) { w.err = err }
+
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer conn.Close()
+		udp, err := net.ListenUDP("udp", &net.UDPAddr{})
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer udp.Close()
+		port := uint16(udp.LocalAddr().(*net.UDPAddr).Port)
+		if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(wire.Hello{Version: wire.Version, UDPPort: port})); err != nil {
+			fail(err)
+			return
+		}
+		if mt, _, err := wire.ReadMessage(conn); err != nil || mt != wire.MsgHelloAck {
+			fail(fmt.Errorf("handshake: %v %v", mt, err))
+			return
+		}
+
+		<-release // line both sessions up on the same instant
+		req := wire.StreamRequest{Gen: 1, Fleet: fleet, K: k, L: 200, PeriodNs: periodNs}
+		if err := wire.WriteMessage(conn, wire.MsgStreamRequest, wire.MarshalStreamRequest(req)); err != nil {
+			fail(err)
+			return
+		}
+		buf := make([]byte, 2048)
+		udp.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for w.sent < k {
+			n, err := udp.Read(buf)
+			if err != nil {
+				fail(fmt.Errorf("after %d probes: %w", w.sent, err))
+				return
+			}
+			h, err := wire.UnmarshalProbe(buf[:n])
+			if err != nil {
+				continue
+			}
+			if w.sent == 0 || h.SentNs < w.lo {
+				w.lo = h.SentNs
+			}
+			if h.SentNs > w.hi {
+				w.hi = h.SentNs
+			}
+			w.sent++
+		}
+	}
+
+	release := make(chan struct{})
+	c1 := make(chan window, 1)
+	c2 := make(chan window, 1)
+	go session(1, release, c1)
+	go session(2, release, c2)
+	time.Sleep(100 * time.Millisecond) // both handshakes done
+	close(release)
+
+	w1, w2 := <-c1, <-c2
+	for name, w := range map[string]window{"s1": w1, "s2": w2} {
+		if w.err != nil {
+			t.Fatalf("%s: %v", name, w.err)
+		}
+		if w.sent != k {
+			t.Fatalf("%s received %d of %d probes on loopback", name, w.sent, k)
+		}
+	}
+	// Overlapping emission windows mean both pacing loops ran at once —
+	// exactly the mutual skew the gate exists to prevent.
+	if lo, hi := max(w1.lo, w2.lo), min(w1.hi, w2.hi); lo <= hi {
+		t.Fatalf("emission windows overlap by %v: s1=[%d,%d] s2=[%d,%d]",
+			time.Duration(hi-lo), w1.lo, w1.hi, w2.lo, w2.hi)
 	}
 }

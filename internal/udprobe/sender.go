@@ -44,6 +44,16 @@ type SenderConfig struct {
 	// MaxSessions caps concurrent control sessions (default 64);
 	// connections beyond the cap are refused at accept.
 	MaxSessions int
+	// EmitConcurrency caps how many probe streams may pace onto the
+	// wire at once (default 1: stream emissions are serialized).
+	// Concurrent streams share the NIC, so their pacing loops skew each
+	// other's interspacings — two overlapping sessions each measuring a
+	// clean path would flag or, worse, subtly bias each other's
+	// streams. Sessions beyond the cap wait their turn at the admission
+	// gate; the control channel's stream-done reply is late, but the
+	// packets that do go out are paced truthfully. Raise it only on
+	// hosts with known NIC headroom.
+	EmitConcurrency int
 	// Logf, if set, receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -67,6 +77,9 @@ func (c SenderConfig) withDefaults() SenderConfig {
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 64
 	}
+	if c.EmitConcurrency == 0 {
+		c.EmitConcurrency = 1
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -78,6 +91,12 @@ func (c SenderConfig) withDefaults() SenderConfig {
 type Sender struct {
 	cfg SenderConfig
 	ln  net.Listener
+
+	// emitSem is the emission admission gate: a session must hold a
+	// slot while its pacing loop runs, so at most EmitConcurrency
+	// streams contend for the NIC at once.
+	emitSem chan struct{}
+	quit    chan struct{}
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -91,7 +110,14 @@ func NewSender(addr string, cfg SenderConfig) (*Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udprobe: control listen: %w", err)
 	}
-	return &Sender{cfg: cfg.withDefaults(), ln: ln, conns: map[net.Conn]struct{}{}}, nil
+	cfg = cfg.withDefaults()
+	return &Sender{
+		cfg:     cfg,
+		ln:      ln,
+		emitSem: make(chan struct{}, cfg.EmitConcurrency),
+		quit:    make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
+	}, nil
 }
 
 // Addr returns the control listener's address.
@@ -107,6 +133,7 @@ func (s *Sender) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.quit)
 	err := s.ln.Close()
 	for c := range s.conns {
 		c.Close()
@@ -137,11 +164,14 @@ func (s *Sender) untrack(conn net.Conn) {
 // Serve accepts and serves control sessions until the listener closes.
 // Sessions run concurrently, one goroutine and one UDP data socket
 // each, so a single daemon can serve a whole monitored fleet of
-// receivers. Concurrent streams share the host's NIC and can perturb
-// each other's pacing; the per-packet timestamps and the Flagged
-// verdict still expose any stream the contention disturbed, and
-// fleet-side admission policies (pathload.MonitorConfig.Admission)
-// decide how much simultaneous probing to allow.
+// receivers. Stream emissions, though, pass through the sender's
+// admission gate (EmitConcurrency, default 1): concurrent pacing loops
+// share the host's NIC and would skew each other's interspacings, so
+// overlapping requests take turns on the wire. The per-packet
+// timestamps and the Flagged verdict still expose any stream the
+// remaining contention disturbed, and fleet-side admission policies
+// (pathload.MonitorConfig.Admission) decide how much simultaneous
+// probing to request in the first place.
 func (s *Sender) Serve() error {
 	defer s.wg.Wait()
 	for {
@@ -188,12 +218,15 @@ func (s *Sender) serveSession(conn net.Conn) error {
 	if t != wire.MsgHello {
 		return fmt.Errorf("expected hello, got %v", t)
 	}
-	hello, err := wire.UnmarshalHello(payload)
+	// Either hello form: the version-3 range hello or the legacy
+	// 4-byte exact-version hello (a degenerate range).
+	hello, err := wire.ParseHello(payload)
 	if err != nil {
 		return err
 	}
-	if hello.Version != wire.Version {
-		return fmt.Errorf("protocol version %d, want %d", hello.Version, wire.Version)
+	version, err := wire.Negotiate(hello.Min, hello.Max)
+	if err != nil {
+		return err
 	}
 
 	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
@@ -210,7 +243,9 @@ func (s *Sender) serveSession(conn net.Conn) error {
 	}
 	defer udp.Close()
 
-	if err := wire.WriteMessage(conn, wire.MsgHelloAck, nil); err != nil {
+	// The ack names the chosen version. Legacy receivers discard the
+	// ack payload, so they interoperate without noticing it.
+	if err := wire.WriteMessage(conn, wire.MsgHelloAck, wire.MarshalHelloAck(wire.HelloAck{Version: version})); err != nil {
 		return err
 	}
 
@@ -255,6 +290,15 @@ func (s *Sender) emitStream(udp *net.UDPConn, req wire.StreamRequest) (wire.Stre
 	period := time.Duration(req.PeriodNs)
 	if period <= 0 {
 		return done, fmt.Errorf("non-positive period %v", period)
+	}
+
+	// Admission gate: wait for an emission slot so overlapping sessions
+	// cannot skew each other's pacing.
+	select {
+	case s.emitSem <- struct{}{}:
+		defer func() { <-s.emitSem }()
+	case <-s.quit:
+		return done, errors.New("sender closed while awaiting an emission slot")
 	}
 
 	// Pin the pacing loop to an OS thread: a migration mid-stream is a

@@ -110,12 +110,18 @@ func FuzzControlStream(f *testing.F) {
 // decode at all.
 func FuzzPayloadRoundTrips(f *testing.F) {
 	f.Add(MarshalHello(Hello{Version: 1, UDPPort: 55555}))
+	f.Add(MarshalHelloRange(HelloRange{Min: 2, Max: 3, UDPPort: 55555}))
 	f.Add(MarshalStreamRequest(StreamRequest{Gen: 2, Fleet: 7, Stream: 3, K: 100, L: 1500, PeriodNs: 1 << 40}))
 	f.Add(MarshalStreamDone(StreamDone{Gen: 2, Fleet: 7, Stream: 3, Sent: 99, Flagged: 1}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if h, err := UnmarshalHello(data); err == nil {
 			if !bytes.Equal(MarshalHello(h), data) {
 				t.Fatalf("hello round-trip mismatch for %x", data)
+			}
+		}
+		if h, err := UnmarshalHelloRange(data); err == nil {
+			if !bytes.Equal(MarshalHelloRange(h), data) {
+				t.Fatalf("range hello round-trip mismatch for %x", data)
 			}
 		}
 		if q, err := UnmarshalStreamRequest(data); err == nil {

@@ -104,18 +104,64 @@ func (t MsgType) String() string {
 	}
 }
 
-// Version is the control protocol version. Version 2 added the Gen
-// request-generation tag to StreamRequest, StreamDone, and ProbeHeader
-// — so receivers can resynchronize a control channel after an errored
-// round and reject data-plane stragglers across rounds that reuse
-// fleet/stream indices — and the Ping/Pong session keepalive.
-const Version uint16 = 2
+// Version is the newest control protocol version this build speaks.
+// Version 2 added the Gen request-generation tag to StreamRequest,
+// StreamDone, and ProbeHeader — so receivers can resynchronize a
+// control channel after an errored round and reject data-plane
+// stragglers across rounds that reuse fleet/stream indices — and the
+// Ping/Pong session keepalive. Version 3 keeps every version-2 message
+// layout and adds the range handshake: a 6-byte hello advertising a
+// [min, max] version range and a hello-ack carrying the version the
+// sender chose, so mixed-version fleets negotiate instead of
+// hard-failing on any skew.
+const Version uint16 = 3
+
+// VersionMin is the oldest protocol version this build still speaks.
+// Version 1 payload layouts (pre-Gen) are gone; 2 is the floor.
+const VersionMin uint16 = 2
+
+// ErrVersionMismatch reports peers whose version ranges do not
+// intersect.
+var ErrVersionMismatch = errors.New("wire: no protocol version in common")
+
+// Negotiate picks the version for a session with a peer advertising
+// [peerMin, peerMax]: the highest version inside both that range and
+// this build's [VersionMin, Version].
+func Negotiate(peerMin, peerMax uint16) (uint16, error) {
+	chosen := Version
+	if peerMax < chosen {
+		chosen = peerMax
+	}
+	if chosen < VersionMin || chosen < peerMin {
+		return 0, fmt.Errorf("%w: peer speaks [%d, %d], this build [%d, %d]",
+			ErrVersionMismatch, peerMin, peerMax, VersionMin, Version)
+	}
+	return chosen, nil
+}
 
 // A Hello opens a control session and advertises the UDP port the
-// receiver listens on.
+// receiver listens on. This is the legacy (version ≤ 2) exact-version
+// form; version-3 peers open with a HelloRange instead and fall back
+// to this one for old senders.
 type Hello struct {
 	Version uint16
 	UDPPort uint16
+}
+
+// A HelloRange is the version-3 session opener: the receiver proposes
+// a whole version range and the sender picks.
+type HelloRange struct {
+	Min, Max uint16
+	UDPPort  uint16
+}
+
+// A HelloAck answers a hello with the version the sender chose for the
+// session. Legacy (version ≤ 2) senders ack with an empty payload,
+// implying the exact version the hello proposed; legacy receivers
+// ignore the ack payload entirely, which is what makes adding it
+// backward compatible.
+type HelloAck struct {
+	Version uint16
 }
 
 // A StreamRequest asks the sender to emit one periodic stream. Gen is
@@ -203,6 +249,73 @@ func UnmarshalHello(buf []byte) (Hello, error) {
 		Version: binary.BigEndian.Uint16(buf[0:]),
 		UDPPort: binary.BigEndian.Uint16(buf[2:]),
 	}, nil
+}
+
+// MarshalHelloRange encodes a version-3 range hello:
+// [min u16][max u16][udp port u16].
+func MarshalHelloRange(h HelloRange) []byte {
+	buf := make([]byte, 6)
+	binary.BigEndian.PutUint16(buf[0:], h.Min)
+	binary.BigEndian.PutUint16(buf[2:], h.Max)
+	binary.BigEndian.PutUint16(buf[4:], h.UDPPort)
+	return buf
+}
+
+// UnmarshalHelloRange decodes a version-3 range hello payload.
+func UnmarshalHelloRange(buf []byte) (HelloRange, error) {
+	if len(buf) != 6 {
+		return HelloRange{}, fmt.Errorf("wire: range hello payload %d bytes, want 6", len(buf))
+	}
+	h := HelloRange{
+		Min:     binary.BigEndian.Uint16(buf[0:]),
+		Max:     binary.BigEndian.Uint16(buf[2:]),
+		UDPPort: binary.BigEndian.Uint16(buf[4:]),
+	}
+	if h.Min > h.Max {
+		return HelloRange{}, fmt.Errorf("wire: inverted hello version range [%d, %d]", h.Min, h.Max)
+	}
+	return h, nil
+}
+
+// ParseHello accepts either hello form — the 6-byte version range or
+// the legacy 4-byte exact version (which parses as the degenerate
+// range [v, v]) — so one sender code path serves both generations of
+// receivers.
+func ParseHello(buf []byte) (HelloRange, error) {
+	switch len(buf) {
+	case 4:
+		h, err := UnmarshalHello(buf)
+		if err != nil {
+			return HelloRange{}, err
+		}
+		return HelloRange{Min: h.Version, Max: h.Version, UDPPort: h.UDPPort}, nil
+	case 6:
+		return UnmarshalHelloRange(buf)
+	default:
+		return HelloRange{}, fmt.Errorf("wire: hello payload %d bytes, want 4 (legacy) or 6 (range)", len(buf))
+	}
+}
+
+// MarshalHelloAck encodes a hello-ack payload carrying the chosen
+// version.
+func MarshalHelloAck(a HelloAck) []byte {
+	buf := make([]byte, 2)
+	binary.BigEndian.PutUint16(buf, a.Version)
+	return buf
+}
+
+// UnmarshalHelloAck decodes a hello-ack payload. An empty payload is a
+// legacy ack: the sender accepted exactly the version the hello
+// proposed, reported here as fallback.
+func UnmarshalHelloAck(buf []byte, fallback uint16) (HelloAck, error) {
+	switch len(buf) {
+	case 0:
+		return HelloAck{Version: fallback}, nil
+	case 2:
+		return HelloAck{Version: binary.BigEndian.Uint16(buf)}, nil
+	default:
+		return HelloAck{}, fmt.Errorf("wire: hello-ack payload %d bytes, want 0 (legacy) or 2", len(buf))
+	}
 }
 
 // MarshalStreamRequest encodes a StreamRequest payload.

@@ -177,3 +177,64 @@ func TestMsgTypeString(t *testing.T) {
 		t.Error("unknown message type should format with its number")
 	}
 }
+
+// TestNegotiate pins the version-choice rule: highest version inside
+// both ranges, error when they miss each other.
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		min, max uint16
+		want     uint16
+		ok       bool
+	}{
+		{VersionMin, Version, Version, true},       // same build
+		{VersionMin, VersionMin, VersionMin, true}, // legacy exact hello in range
+		{Version, Version + 5, Version, true},      // newer peer meets us at our max
+		{VersionMin - 1, VersionMin, VersionMin, true},
+		{Version + 1, Version + 9, 0, false}, // peer too new throughout
+		{0, VersionMin - 1, 0, false},        // peer too old throughout
+	}
+	for _, c := range cases {
+		got, err := Negotiate(c.min, c.max)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Negotiate(%d, %d) = %d, %v; want %d", c.min, c.max, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Negotiate(%d, %d) accepted a disjoint range", c.min, c.max)
+		}
+	}
+}
+
+// TestParseHelloForms: the sender-side parser must take both hello
+// generations and reject everything else.
+func TestParseHelloForms(t *testing.T) {
+	legacy, err := ParseHello(MarshalHello(Hello{Version: 2, UDPPort: 7777}))
+	if err != nil || legacy != (HelloRange{Min: 2, Max: 2, UDPPort: 7777}) {
+		t.Fatalf("legacy hello parsed as %+v, %v", legacy, err)
+	}
+	ranged, err := ParseHello(MarshalHelloRange(HelloRange{Min: 2, Max: 3, UDPPort: 8888}))
+	if err != nil || ranged != (HelloRange{Min: 2, Max: 3, UDPPort: 8888}) {
+		t.Fatalf("range hello parsed as %+v, %v", ranged, err)
+	}
+	if _, err := ParseHello(make([]byte, 5)); err == nil {
+		t.Error("5-byte hello accepted")
+	}
+	if _, err := ParseHello(MarshalHelloRange(HelloRange{Min: 3, Max: 2})); err == nil {
+		t.Error("inverted version range accepted")
+	}
+}
+
+// TestHelloAckForms: the 2-byte chosen-version ack and the legacy
+// empty ack (which implies the proposed version) both decode.
+func TestHelloAckForms(t *testing.T) {
+	ack, err := UnmarshalHelloAck(MarshalHelloAck(HelloAck{Version: 3}), 2)
+	if err != nil || ack.Version != 3 {
+		t.Fatalf("ack round trip: %+v, %v", ack, err)
+	}
+	ack, err = UnmarshalHelloAck(nil, 2)
+	if err != nil || ack.Version != 2 {
+		t.Fatalf("legacy empty ack: %+v, %v", ack, err)
+	}
+	if _, err := UnmarshalHelloAck([]byte{1}, 2); err == nil {
+		t.Error("1-byte ack accepted")
+	}
+}
