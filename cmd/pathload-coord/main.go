@@ -1,0 +1,136 @@
+// Command pathload-coord is the fleet coordinator: it owns a table of
+// paths, leases them to `pathload -agent` processes with
+// heartbeat-renewed TTLs, rebalances when agents die, and serves the
+// federated time series every agent pushes back on the usual scrape
+// surface (/metrics, /series, /mrtg) plus a /coord status page.
+//
+// Example — two agents splitting four simulated paths:
+//
+//	pathload-coord -listen :8400 -export :9090 \
+//	    -paths sim:0.2,sim:0.4,sim:0.6,sim:0.8 &
+//	pathload -agent localhost:8400 -agent-name a1 &
+//	pathload -agent localhost:8400 -agent-name a2 &
+//	curl -s localhost:9090/metrics | grep availbw_samples_total
+//
+// Paths joined by -conflicts (groups separated by ';', members by ',')
+// share a tight link: the coordinator leases each group whole, so the
+// owning agent can stagger its members locally:
+//
+//	pathload-coord -paths a,b,c,d -conflicts a,b;c,d
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/coord"
+	"repro/internal/tsstore"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8400", "agent control listen address")
+		export    = flag.String("export", "", "HTTP listen address for the federated store and /coord status (e.g. :9090)")
+		paths     = flag.String("paths", "", "comma-separated path identifiers to keep measured (required); agents resolve them (sim:<util>[@seed] or a pathload-snd address)")
+		conflicts = flag.String("conflicts", "", "conflict groups: members separated by ',', groups by ';' (e.g. a,b;c,d); each group is leased whole")
+		ttl       = flag.Duration("ttl", coord.DefaultTTL, "agent liveness TTL: an agent missing heartbeats this long loses its leases")
+		epoch     = flag.Duration("epoch", coord.DefaultEpoch, "rebalance cadence")
+		budget    = flag.Float64("budget", 0, "fleet-wide probe bit-rate budget in Mb/s, split across agents by leased-path count (0 = uncapped)")
+	)
+	flag.Parse()
+
+	pathList := splitList(*paths)
+	if len(pathList) == 0 {
+		fmt.Fprintln(os.Stderr, "pathload-coord: -paths is required")
+		os.Exit(2)
+	}
+	srv, err := coord.NewServer(coord.ServerConfig{
+		Coord: coord.Config{
+			Paths:     pathList,
+			Conflicts: parseConflicts(*conflicts),
+			TTL:       *ttl,
+			Epoch:     *epoch,
+			Budget:    *budget * 1e6,
+		},
+		Store:    tsstore.Config{},
+		AutoTick: true,
+		OnEvent:  func(line string) { fmt.Printf("coord: %s\n", line) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload-coord: %v\n", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload-coord: -listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("coord: control listening on %s (%d paths, ttl %v, epoch %v)\n",
+		ln.Addr(), len(pathList), *ttl, *epoch)
+
+	if *export != "" {
+		eln, err := net.Listen("tcp", *export)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathload-coord: -export: %v\n", err)
+			os.Exit(1)
+		}
+		url := fmt.Sprintf("http://%s/", eln.Addr())
+		go func() {
+			// Losing the scrape surface defeats the point of a
+			// coordinator; fail loudly instead of serving nothing.
+			err := http.Serve(eln, srv.Handler())
+			fmt.Fprintf(os.Stderr, "pathload-coord: export: serving %s failed: %v\n", url, err)
+			os.Exit(1)
+		}()
+		fmt.Printf("coord: exporting federated store on %s (endpoints: /metrics /series /mrtg /coord)\n", url)
+	}
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "pathload-coord: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// parseConflicts turns "a,b;c,d" into the adjacency shape
+// schedule.ConflictGroups consumes: every pair within a ';'-separated
+// group conflicts.
+func parseConflicts(s string) map[string][]string {
+	adj := map[string][]string{}
+	for _, group := range strings.Split(s, ";") {
+		members := splitList(group)
+		for _, p := range members {
+			for _, o := range members {
+				if o != p {
+					adj[p] = append(adj[p], o)
+				}
+			}
+		}
+	}
+	if len(adj) == 0 {
+		return nil
+	}
+	return adj
+}

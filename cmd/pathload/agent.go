@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/crosstraffic"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/simprobe"
+	"repro/internal/udprobe"
+
+	pathload "repro"
+)
+
+// agentOpts carries the -agent flags.
+type agentOpts struct {
+	coord     string // coordinator control address
+	name      string
+	heartbeat time.Duration
+	push      time.Duration
+	export    string // optional local scrape address
+	interval  time.Duration
+	jitter    float64
+	workers   int
+	seed      int64
+	backoff   time.Duration
+	measure   pathload.Config
+}
+
+// agentProvider resolves a leased path identifier to a prober factory:
+//
+//   - "sim:<util>[@seed]" builds a fresh single-hop 10 Mb/s Poisson
+//     simulator at that utilization per (re)dial — the self-contained
+//     form used by tests and demos ("sim:0.4", "sim:0.6@7").
+//   - anything else is a pathload-snd control address dialed over UDP
+//     (the -senders transport), re-dialed by the monitor on failure.
+func agentProvider(path string) (pathload.ProberFactory, error) {
+	if util, seed, ok := parseSimPath(path); ok {
+		return func() (pathload.Prober, error) {
+			topo := experiments.Topology{
+				Hops:          1,
+				TightCap:      10e6,
+				TightUtil:     util,
+				Model:         crosstraffic.ModelPoisson,
+				SourcesPerHop: 10,
+				Seed:          seed,
+			}
+			n := topo.Build()
+			n.Warmup(3 * netsim.Second)
+			return simprobe.New(n.Sim, n.Links, 10*netsim.Millisecond), nil
+		}, nil
+	}
+	addr := path
+	return func() (pathload.Prober, error) {
+		return udprobe.Dial(addr, udprobe.ProberConfig{})
+	}, nil
+}
+
+// parseSimPath recognizes the "sim:<util>[@seed]" form.
+func parseSimPath(path string) (util float64, seed int64, ok bool) {
+	spec, found := strings.CutPrefix(path, "sim:")
+	if !found {
+		return 0, 0, false
+	}
+	seed = 1
+	if at := strings.IndexByte(spec, '@'); at >= 0 {
+		s, err := strconv.ParseInt(spec[at+1:], 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		seed, spec = s, spec[:at]
+	}
+	u, err := strconv.ParseFloat(spec, 64)
+	if err != nil || u < 0 || u >= 1 {
+		return 0, 0, false
+	}
+	return u, seed, true
+}
+
+// runAgent joins the fleet: register with the coordinator, measure
+// whatever it leases, push the series back, until interrupted.
+func runAgent(o agentOpts) {
+	name := o.name
+	if name == "" {
+		h, err := os.Hostname()
+		if err != nil || h == "" {
+			fmt.Fprintln(os.Stderr, "pathload: -agent needs -agent-name (no usable hostname)")
+			os.Exit(2)
+		}
+		name = h
+	}
+	agent, err := coord.NewAgent(coord.AgentConfig{
+		Coord:     o.coord,
+		Name:      name,
+		Provider:  agentProvider,
+		Heartbeat: o.heartbeat,
+		PushEvery: o.push,
+		Monitor: pathload.MonitorConfig{
+			Workers:   o.workers,
+			Interval:  o.interval,
+			Jitter:    o.jitter,
+			Seed:      o.seed,
+			Config:    o.measure,
+			Reconnect: pathload.Reconnect{Backoff: o.backoff},
+		},
+		OnEvent: func(line string) { fmt.Printf("agent: %s\n", line) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
+		os.Exit(2)
+	}
+
+	if o.export != "" {
+		ln, err := net.Listen("tcp", o.export)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathload: -export: %v\n", err)
+			os.Exit(1)
+		}
+		url := fmt.Sprintf("http://%s/", ln.Addr())
+		go func() {
+			err := http.Serve(ln, agent.Store().Handler())
+			fmt.Fprintf(os.Stderr, "pathload: export: serving %s failed: %v\n", url, err)
+			os.Exit(1)
+		}()
+		fmt.Printf("agent: exporting local store on %s\n", url)
+	}
+
+	fmt.Printf("agent: %s joining coordinator %s\n", name, o.coord)
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		agent.Stop()
+	}()
+	if err := agent.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: agent: %v\n", err)
+		os.Exit(1)
+	}
+}

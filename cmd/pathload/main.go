@@ -50,6 +50,14 @@
 // usual:
 //
 //	pathload -monitor -senders hostA:8365,hostB:8365 -rounds 5 -export :9090
+//
+// With -agent the process joins a pathload-coord fleet instead of
+// choosing its own paths: it registers under -agent-name, measures
+// whatever paths the coordinator leases it (staggering co-leased paths
+// that share a tight link, resuming series across lease handoffs), and
+// pushes its retained series and digests back for federation:
+//
+//	pathload -agent localhost:8400 -agent-name a1
 package main
 
 import (
@@ -104,6 +112,11 @@ func main() {
 		stagger   = flag.Bool("stagger", false, "monitor: with -mesh, never co-measure paths that share a tight link (contention-aware admission)")
 		senders   = flag.String("senders", "", "monitor: comma-separated pathload-snd control addresses (host:port,…); each becomes one real-network path with reconnect-on-error (ignores -paths -cap -util -model -sources; excludes -mesh)")
 		backoff   = flag.Duration("reconnect-backoff", 500*time.Millisecond, "monitor: with -senders, first re-dial delay after a transport failure (doubles up to 15s)")
+
+		agentAddr = flag.String("agent", "", "run as a fleet agent of the pathload-coord at this control address (host:port); leased paths are measured and pushed to the coordinator (honors -k -n -omega -chi -interval -jitter -workers -seed -export)")
+		agentName = flag.String("agent-name", "", "agent: fleet-unique agent name (default the hostname)")
+		heartbeat = flag.Duration("heartbeat", 0, "agent: heartbeat cadence (0 derives min(TTL/3, epoch) from the coordinator)")
+		pushEvery = flag.Duration("push", 0, "agent: contribution push cadence (0 pushes on every heartbeat)")
 	)
 	flag.Parse()
 
@@ -118,6 +131,22 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pathload: unknown model %q\n", *model)
 		os.Exit(2)
+	}
+
+	if *agentAddr != "" {
+		runAgent(agentOpts{
+			coord: *agentAddr, name: *agentName,
+			heartbeat: *heartbeat, push: *pushEvery, export: *export,
+			interval: *interval, jitter: *jitter, workers: *workers,
+			seed: *seed, backoff: *backoff,
+			measure: pathload.Config{
+				PacketsPerStream: *k,
+				StreamsPerFleet:  *n,
+				Resolution:       *omega * 1e6,
+				GreyResolution:   *chi * 1e6,
+			},
+		})
+		return
 	}
 
 	if *monitor {
@@ -275,9 +304,12 @@ func runMonitor(o monitorOpts) {
 		}
 		exportURL = fmt.Sprintf("http://%s/", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, store.Handler()); err != nil {
-				fmt.Fprintf(os.Stderr, "pathload: export: %v\n", err)
-			}
+			// A scrape endpoint that died is not a degraded mode — the
+			// operator asked for -export, so losing it is fatal, not a
+			// log line behind a silently dead port.
+			err := http.Serve(ln, store.Handler())
+			fmt.Fprintf(os.Stderr, "pathload: export: serving %s failed: %v\n", exportURL, err)
+			os.Exit(1)
 		}()
 		fmt.Printf("exporting store on %s (endpoints: /metrics /series /mrtg)\n", exportURL)
 	}

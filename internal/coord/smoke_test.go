@@ -1,0 +1,147 @@
+package coord
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessSmoke is the real-deployment check: build the actual
+// pathload-coord and pathload binaries, run a coordinator and one
+// -agent as separate processes over loopback, and scrape merged
+// samples for the agent's sim paths from the coordinator's /metrics.
+// It is skipped under -short (it compiles two binaries and runs real
+// measurements).
+func TestTwoProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-process smoke test skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, pkg := range []string{"./cmd/pathload-coord", "./cmd/pathload"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	paths := []string{"sim:0.4@3", "sim:0.7@5"}
+	coordCmd := exec.Command(filepath.Join(bin, "pathload-coord"),
+		"-listen", "127.0.0.1:0",
+		"-export", "127.0.0.1:0",
+		"-paths", strings.Join(paths, ","),
+		"-ttl", "2s",
+		"-epoch", "200ms",
+	)
+	coordOut, err := coordCmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("coord stdout: %v", err)
+	}
+	coordCmd.Stderr = coordCmd.Stdout
+	if err := coordCmd.Start(); err != nil {
+		t.Fatalf("starting pathload-coord: %v", err)
+	}
+	defer func() {
+		coordCmd.Process.Kill()
+		coordCmd.Wait()
+	}()
+
+	// The coordinator announces its bound addresses on stdout; with
+	// port 0 that is the only way to learn them.
+	controlRe := regexp.MustCompile(`control listening on ([0-9.:]+)`)
+	exportRe := regexp.MustCompile(`exporting federated store on (http://[0-9.:]+/)`)
+	var controlAddr, exportURL string
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(coordOut)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	for controlAddr == "" || exportURL == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("pathload-coord exited before announcing its addresses")
+			}
+			if m := controlRe.FindStringSubmatch(line); m != nil {
+				controlAddr = m[1]
+			}
+			if m := exportRe.FindStringSubmatch(line); m != nil {
+				exportURL = m[1]
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for pathload-coord to announce its addresses")
+		}
+	}
+	go func() { // keep draining so the child never blocks on stdout
+		for range lines {
+		}
+	}()
+
+	agentCmd := exec.Command(filepath.Join(bin, "pathload"),
+		"-agent", controlAddr,
+		"-agent-name", "smoke-a1",
+		"-interval", "50ms",
+		"-k", "40",
+		"-n", "8",
+	)
+	agentLog := &strings.Builder{}
+	agentCmd.Stdout = agentLog
+	agentCmd.Stderr = agentLog
+	if err := agentCmd.Start(); err != nil {
+		t.Fatalf("starting pathload -agent: %v", err)
+	}
+	defer func() {
+		agentCmd.Process.Kill()
+		agentCmd.Wait()
+	}()
+
+	// Scrape the coordinator until every path shows merged samples.
+	want := map[string]bool{}
+	for _, p := range paths {
+		want[fmt.Sprintf("pathload_availbw_samples_total{path=%q}", p)] = true
+	}
+	scrapeDeadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(scrapeDeadline) {
+			t.Fatalf("timed out waiting for merged samples on %s/metrics\nagent log:\n%s", exportURL, agentLog.String())
+		}
+		time.Sleep(250 * time.Millisecond)
+		resp, err := http.Get(exportURL + "metrics")
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			continue
+		}
+		missing := false
+		for _, line := range strings.Split(string(body), "\n") {
+			for prefix := range want {
+				if strings.HasPrefix(line, prefix) {
+					var v float64
+					if _, err := fmt.Sscanf(line[len(prefix):], " %g", &v); err == nil && v >= 1 {
+						delete(want, prefix)
+					}
+				}
+			}
+		}
+		for range want {
+			missing = true
+		}
+		if !missing {
+			break
+		}
+	}
+}

@@ -157,6 +157,69 @@ func (g *Stagger) admissible(path string) bool {
 	return true
 }
 
+// ConflictGroups partitions paths into the connected components of the
+// conflict graph (the same adjacency shape NewStagger consumes, e.g.
+// mesh.Mesh.TightOverlaps): two paths land in the same group exactly
+// when a conflict chain connects them. Paths absent from the adjacency
+// are singleton groups.
+//
+// Stagger can only serialize conflicting measurements that run in the
+// same process, so a coordinator distributing paths across agents must
+// keep each group on one agent — this is the function that tells it
+// which paths travel together. The result is canonical regardless of
+// map iteration or input order: members sorted within each group,
+// groups sorted by their first member, so lease assignments derived
+// from it are reproducible.
+func ConflictGroups(paths []string, conflicts map[string][]string) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		r := find(parent[x])
+		parent[x] = r
+		return r
+	}
+	add := func(x string) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	union := func(a, b string) {
+		add(a)
+		add(b)
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range paths {
+		add(p)
+	}
+	for p, others := range conflicts {
+		for _, o := range others {
+			if o != p {
+				union(p, o)
+			}
+		}
+	}
+	// Only the requested paths appear in the output; adjacency entries
+	// outside the universe still glue groups together.
+	members := map[string][]string{}
+	for _, p := range paths {
+		r := find(p)
+		members[r] = append(members[r], p)
+	}
+	groups := make([][]string, 0, len(members))
+	for _, g := range members {
+		sort.Strings(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
 // release frees the path's slot and wakes every waiter.
 func (g *Stagger) release(path string) {
 	g.mu.Lock()

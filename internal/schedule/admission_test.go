@@ -181,3 +181,43 @@ func TestStaggerCancel(t *testing.T) {
 	// once, but a once-guard keeps misuse from corrupting slots).
 	releaseB()
 }
+
+// TestConflictGroups pins the canonical partition: connected components
+// of the conflict graph, members and groups sorted, independent of the
+// order the universe or the adjacency present themselves in.
+func TestConflictGroups(t *testing.T) {
+	conflicts := map[string][]string{
+		"p3": {"p1"},
+		"p1": {"p2"},
+		"p5": {"p4"},
+	}
+	want := [][]string{{"p0"}, {"p1", "p2", "p3"}, {"p4", "p5"}}
+	// Shuffled path universes must not change the result.
+	universes := [][]string{
+		{"p0", "p1", "p2", "p3", "p4", "p5"},
+		{"p5", "p3", "p0", "p2", "p4", "p1"},
+		{"p2", "p4", "p0", "p5", "p1", "p3"},
+	}
+	for _, u := range universes {
+		got := ConflictGroups(u, conflicts)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("ConflictGroups(%v) = %v, want %v", u, got, want)
+		}
+	}
+
+	// A chain through a path outside the universe still glues its
+	// endpoints into one group; the outsider itself is absent.
+	glued := ConflictGroups([]string{"a", "c"}, map[string][]string{"a": {"b"}, "b": {"c"}})
+	if fmt.Sprint(glued) != fmt.Sprint([][]string{{"a", "c"}}) {
+		t.Errorf("chain through outsider: %v, want [[a c]]", glued)
+	}
+
+	// Self-conflicts and an empty adjacency degenerate to singletons.
+	single := ConflictGroups([]string{"b", "a"}, map[string][]string{"a": {"a"}})
+	if fmt.Sprint(single) != fmt.Sprint([][]string{{"a"}, {"b"}}) {
+		t.Errorf("singletons: %v, want [[a] [b]]", single)
+	}
+	if got := ConflictGroups(nil, nil); len(got) != 0 {
+		t.Errorf("empty universe: %v, want none", got)
+	}
+}

@@ -1,6 +1,7 @@
 package tsstore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -140,6 +141,67 @@ func (d *Digest) Quantile(q float64) float64 {
 		prevMid, prevMean = mid, c.mean
 	}
 	return d.cs[len(d.cs)-1].mean
+}
+
+// clone returns an independent deep copy of the digest.
+func (d *Digest) clone() *Digest {
+	return &Digest{size: d.size, n: d.n, cs: append([]centroid(nil), d.cs...)}
+}
+
+// MarshalBinary encodes the digest deterministically (big-endian:
+// centroid budget, total count, then mean/weight pairs in ascending
+// mean order). It is the wire and archive form of a digest: agents
+// push it to the coordinator, which rebuilds it with UnmarshalDigest.
+func (d *Digest) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+16*len(d.cs))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(d.size))
+	buf = binary.BigEndian.AppendUint64(buf, d.n)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(d.cs)))
+	for _, c := range d.cs {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.mean))
+		buf = binary.BigEndian.AppendUint64(buf, c.weight)
+	}
+	return buf, nil
+}
+
+// UnmarshalDigest decodes a MarshalBinary digest, validating the
+// structural invariants (budget respected, means ascending and not NaN,
+// weights positive, count consistent) so a corrupt or adversarial blob
+// cannot poison a federated store.
+func UnmarshalDigest(data []byte) (*Digest, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("tsstore: digest blob %d bytes, want >= 16", len(data))
+	}
+	size := int(binary.BigEndian.Uint32(data[0:]))
+	n := binary.BigEndian.Uint64(data[4:])
+	k := int(binary.BigEndian.Uint32(data[12:]))
+	if size <= 0 || k < 0 || k > size {
+		return nil, fmt.Errorf("tsstore: digest holds %d centroids against budget %d", k, size)
+	}
+	if len(data) != 16+16*k {
+		return nil, fmt.Errorf("tsstore: digest blob %d bytes, want %d for %d centroids", len(data), 16+16*k, k)
+	}
+	d := &Digest{size: size, n: n, cs: make([]centroid, k)}
+	var sum uint64
+	for i := range d.cs {
+		mean := math.Float64frombits(binary.BigEndian.Uint64(data[16+16*i:]))
+		weight := binary.BigEndian.Uint64(data[24+16*i:])
+		if math.IsNaN(mean) {
+			return nil, fmt.Errorf("tsstore: digest centroid %d mean is NaN", i)
+		}
+		if weight == 0 {
+			return nil, fmt.Errorf("tsstore: digest centroid %d has zero weight", i)
+		}
+		if i > 0 && mean < d.cs[i-1].mean {
+			return nil, fmt.Errorf("tsstore: digest centroid means not ascending at %d", i)
+		}
+		d.cs[i] = centroid{mean: mean, weight: weight}
+		sum += weight
+	}
+	if sum != n {
+		return nil, fmt.Errorf("tsstore: digest count %d != centroid weight sum %d", n, sum)
+	}
+	return d, nil
 }
 
 // Min and Max return the extreme centroid means — after compression

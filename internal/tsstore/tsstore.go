@@ -196,6 +196,34 @@ func (st *Store) Len(path string) int {
 	return 0
 }
 
+// Last returns the path's most recent retained point; ok is false for
+// unknown or empty paths. An agent handing a lease back resumes the
+// path's series from here (pathload.PathState), so round numbering and
+// the path-local clock stay monotone across monitor restarts.
+func (st *Store) Last(path string) (Point, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil || se.n == 0 {
+		return Point{}, false
+	}
+	return se.at(se.n - 1), true
+}
+
+// DigestSnapshot returns a deep copy of the path's all-time digest of
+// mid-range estimates (nil for unknown paths). The copy is the caller's
+// to mutate or marshal — it is how an agent ships its eviction-proof
+// distribution summary to a federating coordinator.
+func (st *Store) DigestSnapshot(path string) *Digest {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	se := st.series[path]
+	if se == nil {
+		return nil
+	}
+	return se.digest.clone()
+}
+
 // Totals returns how many samples the path has ever delivered
 // (retained + evicted) and how many of them failed.
 func (st *Store) Totals(path string) (samples, errors uint64) {

@@ -180,11 +180,25 @@ type SampleSink interface {
 	Observe(Sample)
 }
 
+// PathState is where a path's session resumes counting: the next
+// round number and the accumulated path-local clock. A coordinator
+// agent that re-acquires a lease passes the state derived from its
+// retained series (tsstore.Resume) so the path's sample stream stays
+// monotone across monitor restarts instead of rewinding to round 0.
+// The zero value is a fresh path.
+type PathState struct {
+	// Round is the round number the first new sample carries.
+	Round int
+	// At is the path-local time offset the first new sample starts at.
+	At time.Duration
+}
+
 // session is the per-path state of a monitor.
 type session struct {
 	id      string
 	prober  Prober         // nil on a factory-backed session awaiting (re)dial
 	factory ProberFactory  // nil on AddPath sessions
+	resume  PathState      // where run starts counting (zero = fresh)
 	hist    sessionHistory // scheduler feedback, maintained by run
 }
 
@@ -308,6 +322,22 @@ func (m *Monitor) AddPathFactory(id string, f ProberFactory) error {
 	}
 	m.byID[id] = true
 	m.sessions = append(m.sessions, &session{id: id, factory: f})
+	return nil
+}
+
+// AddPathFactoryResume is AddPathFactory for a path with history: the
+// session's rounds and path-local clock continue from st rather than
+// zero. Negative state is rejected.
+func (m *Monitor) AddPathFactoryResume(id string, f ProberFactory, st PathState) error {
+	if st.Round < 0 || st.At < 0 {
+		return fmt.Errorf("pathload: AddPathFactoryResume(%q) with negative state", id)
+	}
+	if err := m.AddPathFactory(id, f); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessions[len(m.sessions)-1].resume = st
 	return nil
 }
 
@@ -495,8 +525,9 @@ func (m *Monitor) redial(s *session, at *time.Duration) error {
 func (m *Monitor) run(s *session) {
 	defer m.wg.Done()
 	defer s.closeProber()
-	var at time.Duration
-	for round := 0; m.cfg.Rounds == 0 || round < m.cfg.Rounds; round++ {
+	start := s.resume.Round
+	at := s.resume.At
+	for round := start; m.cfg.Rounds == 0 || round < start+m.cfg.Rounds; round++ {
 		if s.prober == nil {
 			if err := m.redial(s, &at); err != nil {
 				if !errors.Is(err, errMonitorStopped) {
@@ -527,7 +558,7 @@ func (m *Monitor) run(s *session) {
 			s.closeProber()
 		}
 
-		if m.cfg.Rounds != 0 && round == m.cfg.Rounds-1 {
+		if m.cfg.Rounds != 0 && round == start+m.cfg.Rounds-1 {
 			return
 		}
 		select {

@@ -951,3 +951,58 @@ func TestMonitorIdleErrorReachesSink(t *testing.T) {
 		t.Errorf("idle failure sample = {round %d, err %v}, want round 1 wrapping %v", last.Round, last.Err, tick)
 	}
 }
+
+// TestMonitorResumeState: a session added with AddPathFactoryResume
+// continues round numbers and the path-local clock from the given
+// state — the lease-handoff contract the coordinator agent relies on —
+// and Rounds counts new measurements, not absolute round numbers.
+func TestMonitorResumeState(t *testing.T) {
+	sink := &recordingSink{}
+	mon, err := pathload.NewMonitor(pathload.MonitorConfig{
+		Rounds: 2,
+		Config: fastCfg(),
+		Store:  sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := pathload.PathState{Round: 5, At: 3 * time.Second}
+	err = mon.AddPathFactoryResume("p", func() (pathload.Prober, error) {
+		return &fakePath{avail: 5e6}, nil
+	}, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var got []pathload.Sample
+	for s := range mon.Results() {
+		if s.Err != nil {
+			t.Fatalf("round error: %v", s.Err)
+		}
+		got = append(got, s)
+	}
+	mon.Wait()
+	if len(got) != 2 {
+		t.Fatalf("samples = %d, want 2", len(got))
+	}
+	if got[0].Round != 5 || got[1].Round != 6 {
+		t.Fatalf("rounds = %d, %d; want 5, 6", got[0].Round, got[1].Round)
+	}
+	if got[0].At != 3*time.Second {
+		t.Fatalf("first At = %v, want 3s", got[0].At)
+	}
+	if got[1].At <= got[0].At {
+		t.Fatalf("At did not advance: %v then %v", got[0].At, got[1].At)
+	}
+
+	// Negative state is a caller bug, refused up front.
+	mon2, _ := pathload.NewMonitor(pathload.MonitorConfig{Rounds: 1, Config: fastCfg()})
+	err = mon2.AddPathFactoryResume("q", func() (pathload.Prober, error) {
+		return &fakePath{avail: 5e6}, nil
+	}, pathload.PathState{Round: -1})
+	if err == nil {
+		t.Fatalf("negative resume state accepted")
+	}
+}
