@@ -51,6 +51,15 @@
 //
 //	pathload -monitor -senders hostA:8365,hostB:8365 -rounds 5 -export :9090
 //
+// With -scenario the monitor measures one composed adversarial
+// scenario from the internal/scenario library instead of a fleet:
+// long-range-dependent cross traffic, a mid-run flash crowd, a
+// migrating tight link, twin near-tight bottlenecks, random loss, or
+// reordering. Rounds split evenly across the scenario's epochs; each
+// round is graded against the analytic truth of the epoch it ran in:
+//
+//	pathload -monitor -scenario lossy:load=0.7,loss=0.05 -rounds 8
+//
 // With -agent the process joins a pathload-coord fleet instead of
 // choosing its own paths: it registers under -agent-name, measures
 // whatever paths the coordinator leases it (staggering co-leased paths
@@ -76,6 +85,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mesh"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 	"repro/internal/schedule"
 	"repro/internal/simprobe"
 	"repro/internal/tsstore"
@@ -111,6 +121,7 @@ func main() {
 		budget    = flag.Float64("budget", 0, "monitor: aggregate probe bit-rate cap in Mb/s across the fleet (token bucket); wraps the chosen -schedule, required by -schedule budgeted")
 		stagger   = flag.Bool("stagger", false, "monitor: with -mesh, never co-measure paths that share a tight link (contention-aware admission)")
 		senders   = flag.String("senders", "", "monitor: comma-separated pathload-snd control addresses (host:port,…); each becomes one real-network path with reconnect-on-error (ignores -paths -cap -util -model -sources; excludes -mesh)")
+		scen      = flag.String("scenario", "", "monitor: measure one composed scenario (name[:key=value,…], e.g. lossy:load=0.7) instead of a fleet; rounds split across its epochs (honors -rounds -k -n -omega -chi -seed; excludes -mesh -senders)")
 		backoff   = flag.Duration("reconnect-backoff", 500*time.Millisecond, "monitor: with -senders, first re-dial delay after a transport failure (doubles up to 15s)")
 
 		agentAddr = flag.String("agent", "", "run as a fleet agent of the pathload-coord at this control address (host:port); leased paths are measured and pushed to the coordinator (honors -k -n -omega -chi -interval -jitter -workers -seed -export)")
@@ -161,6 +172,19 @@ func main() {
 		if *senders != "" && *meshName != "" {
 			fmt.Fprintln(os.Stderr, "pathload: -senders measures real paths; it excludes -mesh")
 			os.Exit(2)
+		}
+		if *scen != "" {
+			if *meshName != "" || *senders != "" {
+				fmt.Fprintln(os.Stderr, "pathload: -scenario measures one composed path; it excludes -mesh and -senders")
+				os.Exit(2)
+			}
+			runScenario(*scen, *rounds, *seed, pathload.Config{
+				PacketsPerStream: *k,
+				StreamsPerFleet:  *n,
+				Resolution:       *omega * 1e6,
+				GreyResolution:   *chi * 1e6,
+			})
+			return
 		}
 		runMonitor(monitorOpts{
 			paths: *paths, rounds: *rounds, workers: *workers,
@@ -225,6 +249,62 @@ func main() {
 	fmt.Printf("ADR init:      %.2f Mb/s\n", res.ADR/1e6)
 	fmt.Printf("probe time:    %v (virtual), %v (wall)\n", res.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("sim events:    %d\n", net.Sim.Events())
+}
+
+// runScenario measures one composed scenario: build it, warm it up, and
+// run rounds back to back, advancing the scenario's epoch at its round
+// boundary so each round is graded against the truth of the epoch it
+// ran in. The spec string is untrusted CLI input — scenario.Parse
+// rejects malformed specs with an error (FuzzParse holds it to that).
+func runScenario(spec string, rounds int, seed int64, cfg pathload.Config) {
+	s, err := scenario.Parse(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: -scenario: %v\n", err)
+		os.Exit(2)
+	}
+	inst, err := s.Build(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: -scenario: %v\n", err)
+		os.Exit(1)
+	}
+	inst.Mesh.Warmup(3 * netsim.Second)
+	prober := simprobe.New(inst.Sim(), inst.Path.Route, 10*netsim.Millisecond)
+
+	fmt.Printf("scenario %s: %s (%d epoch(s), %d rounds)\n", s.Name, s.Info, inst.Epochs(), rounds)
+	if s.FailureMode != "" {
+		fmt.Printf("expected failure mode: %s\n", s.FailureMode)
+	}
+	slack := cfg.Resolution + cfg.GreyResolution
+	if slack == 0 {
+		slack = pathload.DefaultResolution + pathload.DefaultGreyResolution
+	}
+	fmt.Printf("epoch 0: true avail-bw %.2f Mb/s (tight hop %d)\n", inst.Truth()/1e6, inst.TightHop())
+
+	start := time.Now()
+	hit := 0
+	for r := 0; r < rounds; r++ {
+		for inst.Epoch() < r*inst.Epochs()/rounds {
+			inst.Advance()
+			inst.Sim().RunFor(3 * netsim.Second) // let the new regime settle
+			fmt.Printf("epoch %d: true avail-bw now %.2f Mb/s (tight hop %d)\n",
+				inst.Epoch(), inst.Truth()/1e6, inst.TightHop())
+		}
+		truth := inst.Truth()
+		res, err := pathload.Run(prober, cfg)
+		if err != nil {
+			fmt.Printf("r%d e%d true %6.2f Mb/s → error: %v\n", r, inst.Epoch(), truth/1e6, err)
+			continue
+		}
+		mark := " "
+		if res.Lo-slack <= truth && truth <= res.Hi+slack {
+			hit++
+			mark = "*"
+		}
+		fmt.Printf("r%d e%d true %6.2f Mb/s → %v %s\n", r, inst.Epoch(), truth/1e6, res, mark)
+		inst.Sim().RunFor(500 * netsim.Millisecond)
+	}
+	fmt.Printf("scenario %s: %d/%d ranges bracket the epoch truth (slack ω+χ = %.1f Mb/s) in %v wall\n",
+		s.Name, hit, rounds, slack/1e6, time.Since(start).Round(time.Millisecond))
 }
 
 // monitorOpts carries the fleet-mode flags.

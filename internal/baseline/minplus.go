@@ -1,0 +1,139 @@
+// Min-plus direct probing (Liebeherr, Fidler & Valaee): in network
+// calculus terms the available bandwidth is the long-term rate of the
+// path's min-plus service curve, and a CBR probe at rate r reveals
+// which side of that rate it is on — a backlogged system (growing
+// delays along the train) means r exceeds the service rate, a clean
+// train means it does not. Sweeping an ascending rate grid and taking
+// the last clean / first backlogged pair brackets A with one train per
+// rate, no stream classification, no loss-abort machinery — the
+// independent contrast estimator the scenario grading harness runs next
+// to SLoPS.
+
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	pathload "repro"
+)
+
+// MinPlusConfig tunes the direct-probing estimator.
+type MinPlusConfig struct {
+	// MinRate and MaxRate bound the probed grid in bits/s. MaxRate is
+	// required (there is no ADR pre-phase here; the caller supplies the
+	// ceiling, e.g. the narrow-link capacity); MinRate defaults to 0
+	// and is never itself probed.
+	MinRate, MaxRate float64
+	// Grid is the number of probed rates, spaced linearly across
+	// (MinRate, MaxRate] (default 12).
+	Grid int
+	// TrainLength is the number of packets per CBR train (default 60).
+	TrainLength int
+	// PacketSize is the probe packet wire size (default 300 bytes,
+	// pathload's stream packet scale).
+	PacketSize int
+	// BacklogDelay is the OWD growth across a train that declares it
+	// backlogged (default 1 ms; compare pathload's PCT/PDT thresholds,
+	// which this estimator deliberately does not use).
+	BacklogDelay time.Duration
+	// Gap separates consecutive trains so one rate's backlog drains
+	// before the next (default 300 ms).
+	Gap time.Duration
+}
+
+func (c MinPlusConfig) withDefaults() MinPlusConfig {
+	if c.Grid == 0 {
+		c.Grid = 12
+	}
+	if c.TrainLength == 0 {
+		c.TrainLength = 60
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 300
+	}
+	if c.BacklogDelay == 0 {
+		c.BacklogDelay = time.Millisecond
+	}
+	if c.Gap == 0 {
+		c.Gap = 300 * time.Millisecond
+	}
+	return c
+}
+
+// MinPlusResult brackets the available bandwidth from one grid sweep.
+type MinPlusResult struct {
+	// Lo is the highest clean (non-backlogged) rate, Hi the lowest
+	// backlogged rate; A is estimated inside [Lo, Hi]. Lo = MinRate
+	// when even the first rate backlogs; Hi = MaxRate when none does.
+	Lo, Hi float64
+	// Probed counts trains sent; Lost counts probe packets that never
+	// arrived (informational — loss does not gate the estimate).
+	Probed, Lost int
+	// Backlogged reports whether any probed rate was declared
+	// backlogged (false means the sweep ran off the top of the grid).
+	Backlogged bool
+}
+
+// MinPlus sweeps the rate grid bottom-up and returns the bracketing
+// pair. Unlike SLoPS it has no loss-abort rule: a train decimated by
+// random loss still votes via whatever packets arrive, which is exactly
+// the behavioral difference the lossy scenario grades.
+func MinPlus(p pathload.Prober, cfg MinPlusConfig) (MinPlusResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinRate < 0 || cfg.MaxRate <= cfg.MinRate {
+		return MinPlusResult{}, fmt.Errorf("baseline: min-plus rate range [%v, %v] invalid", cfg.MinRate, cfg.MaxRate)
+	}
+	res := MinPlusResult{Lo: cfg.MinRate, Hi: cfg.MaxRate}
+	step := (cfg.MaxRate - cfg.MinRate) / float64(cfg.Grid)
+	for i := 1; i <= cfg.Grid; i++ {
+		rate := cfg.MinRate + float64(i)*step
+		period := time.Duration(float64(cfg.PacketSize) * 8 / rate * float64(time.Second))
+		spec := pathload.StreamSpec{
+			Rate:  rate,
+			K:     cfg.TrainLength,
+			L:     cfg.PacketSize,
+			T:     period,
+			Fleet: -1,
+			Index: i,
+		}
+		sr, err := p.SendStream(spec)
+		if err != nil {
+			return res, fmt.Errorf("baseline: min-plus train %d: %w", i, err)
+		}
+		res.Probed++
+		res.Lost += spec.K - len(sr.OWDs)
+		if backlogged(sr, cfg.BacklogDelay) {
+			res.Hi = rate
+			res.Backlogged = true
+			break
+		}
+		res.Lo = rate
+		if err := p.Idle(cfg.Gap); err != nil {
+			return res, fmt.Errorf("baseline: min-plus gap: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// backlogged declares a train backlogged when the mean OWD of its last
+// third exceeds the mean of its first third by at least minDelay — the
+// persistent queue growth a rate above the service rate must build. A
+// train too decimated to split into thirds is conservatively declared
+// backlogged (heavy loss is itself a backlog symptom).
+func backlogged(sr pathload.StreamResult, minDelay time.Duration) bool {
+	owds := append([]pathload.OWDSample(nil), sr.OWDs...)
+	sort.Slice(owds, func(i, j int) bool { return owds[i].Seq < owds[j].Seq })
+	n := len(owds)
+	if n < 9 {
+		return true
+	}
+	third := n / 3
+	var head, tail time.Duration
+	for i := 0; i < third; i++ {
+		head += owds[i].OWD
+		tail += owds[n-third+i].OWD
+	}
+	return (tail-head)/time.Duration(third) >= minDelay
+}

@@ -189,6 +189,7 @@ const (
 	ModelPoisson Model = iota // exponential interarrivals
 	ModelPareto               // Pareto interarrivals, α = 1.9
 	ModelCBR                  // constant interarrivals
+	ModelOnOff                // heavy-tailed on/off bursts (LRD aggregate)
 )
 
 // String names the model.
@@ -200,6 +201,8 @@ func (m Model) String() string {
 		return "pareto"
 	case ModelCBR:
 		return "cbr"
+	case ModelOnOff:
+		return "onoff"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
@@ -239,6 +242,11 @@ func NewAggregate(sim *netsim.Simulator, route []*netsim.Link, rate float64, n i
 			iat = Pareto{Alpha: ParetoAlpha, M: meanIAT}
 		case ModelCBR:
 			iat = Constant{M: meanIAT}
+		case ModelOnOff:
+			// Stateful: each source needs its own instance. NewParetoOnOff
+			// preserves the long-run mean, so the aggregate rate matches
+			// the request despite the bursty duty cycle.
+			iat = NewParetoOnOff(meanIAT)
 		default:
 			panic(fmt.Sprintf("crosstraffic: unknown model %v", model))
 		}

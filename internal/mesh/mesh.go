@@ -47,6 +47,15 @@ type LinkSpec struct {
 	Prop netsim.Time
 	// BufBytes bounds the drop-tail queue; 0 means unbounded.
 	BufBytes int
+	// Loss erases arriving packets with this probability in [0, 1)
+	// (wire erasure, counted apart from buffer drops).
+	Loss float64
+	// Reorder delays transmitted packets by ReorderDelay with this
+	// probability in [0, 1), letting later packets overtake them.
+	Reorder float64
+	// ReorderDelay is the extra delivery delay of reordered packets;
+	// required positive when Reorder > 0.
+	ReorderDelay netsim.Time
 }
 
 // availBw returns the link's analytic available bandwidth C_l·(1−u_l).
@@ -105,6 +114,18 @@ func (s Spec) Validate() error {
 		}
 		if l.Prop < 0 || l.BufBytes < 0 {
 			return fmt.Errorf("mesh: link %q: negative propagation delay or buffer", l.Name)
+		}
+		if l.Loss < 0 || l.Loss >= 1 {
+			return fmt.Errorf("mesh: link %q: loss %v outside [0, 1)", l.Name, l.Loss)
+		}
+		if l.Reorder < 0 || l.Reorder >= 1 {
+			return fmt.Errorf("mesh: link %q: reorder %v outside [0, 1)", l.Name, l.Reorder)
+		}
+		if l.Reorder > 0 && l.ReorderDelay <= 0 {
+			return fmt.Errorf("mesh: link %q: reorder needs a positive ReorderDelay, got %v", l.Name, l.ReorderDelay)
+		}
+		if l.ReorderDelay < 0 {
+			return fmt.Errorf("mesh: link %q: negative ReorderDelay %v", l.Name, l.ReorderDelay)
 		}
 	}
 	routes := map[string]bool{}
@@ -208,6 +229,16 @@ func (s Spec) Build() (*Mesh, error) {
 	specByName := map[string]LinkSpec{}
 	for i, ls := range s.Links {
 		link := netsim.NewLink(m.Sim, ls.Name, int64(ls.Capacity), ls.Prop, ls.BufBytes)
+		if ls.Loss > 0 || ls.Reorder > 0 {
+			link.Impair(netsim.Impairment{
+				Loss:         ls.Loss,
+				Reorder:      ls.Reorder,
+				ReorderDelay: ls.ReorderDelay,
+				// A distinct stride keeps impairment draws independent of
+				// the per-link cross-traffic seeds derived below.
+				Seed: s.Seed + int64(i)*500_009 + 17,
+			})
+		}
 		m.links = append(m.links, link)
 		m.byLink[ls.Name] = link
 		specByName[ls.Name] = ls

@@ -134,6 +134,83 @@ func TestTightLinkTie(t *testing.T) {
 	}
 }
 
+// TestTightLinkTieMidRoute extends the tie rule to longer routes: with
+// three exactly co-tight hops (different capacity/utilization pairs, the
+// same C·(1−u)) the earliest still wins, and a tie that begins mid-route
+// resolves to the first tied hop, not hop 0.
+func TestTightLinkTieMidRoute(t *testing.T) {
+	// A = 5 Mb/s three ways: 10 Mb/s @ 0.5, 5 Mb/s @ 0, 20 Mb/s @ 0.75.
+	links := []LinkSpec{
+		{Name: "wide", Capacity: 50e6, Util: 0.1}, // A = 45 Mb/s, never tight
+		{Name: "a", Capacity: 10e6, Util: 0.5},
+		{Name: "b", Capacity: 5e6, Util: 0},
+		{Name: "c", Capacity: 20e6, Util: 0.75},
+	}
+	for _, tc := range []struct {
+		route   []string
+		tight   string
+		tightAt int
+	}{
+		{[]string{"a", "b", "c"}, "a", 0},
+		{[]string{"c", "b", "a"}, "c", 0},
+		{[]string{"wide", "b", "a"}, "b", 1}, // tie starts mid-route
+		{[]string{"wide", "c", "b"}, "c", 1},
+	} {
+		m, err := (Spec{
+			Links:  links,
+			Routes: []RouteSpec{{Name: "p", Links: tc.route}},
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Path("p")
+		if p.TightIdx != tc.tightAt || p.TightLink().Name() != tc.tight {
+			t.Errorf("route %v: tight %q@%d, want %q@%d",
+				tc.route, p.TightLink().Name(), p.TightIdx, tc.tight, tc.tightAt)
+		}
+		if p.AvailBw() != 5e6 {
+			t.Errorf("route %v: A = %v, want 5e6", tc.route, p.AvailBw())
+		}
+	}
+}
+
+// TestImpairedLinkWiring: Build installs the spec's loss/reordering on
+// the right link — packets crossing it get erased at the configured
+// rate, while clean links stay untouched.
+func TestImpairedLinkWiring(t *testing.T) {
+	m, err := (Spec{
+		Links: []LinkSpec{
+			{Name: "clean", Capacity: 10e6},
+			{Name: "lossy", Capacity: 10e6, Loss: 0.2, Reorder: 0.1, ReorderDelay: netsim.Millisecond},
+		},
+		Routes: []RouteSpec{{Name: "p", Links: []string{"clean", "lossy"}}},
+		Seed:   9,
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := m.Path("p").Route
+	for i := 0; i < 2000; i++ {
+		i := i
+		m.Sim.Schedule(netsim.Time(i)*netsim.Millisecond, func() {
+			pkt := m.Sim.NewPacket()
+			pkt.Size = 500
+			m.Sim.Inject(pkt, route, nil)
+		})
+	}
+	m.Sim.RunFor(3 * netsim.Second)
+	clean, lossy := m.Link("clean").Counters(), m.Link("lossy").Counters()
+	if clean.RandLoss != 0 || clean.Reordered != 0 {
+		t.Errorf("clean link impaired: %+v", clean)
+	}
+	if rate := float64(lossy.RandLoss) / 2000; rate < 0.15 || rate > 0.25 {
+		t.Errorf("lossy link erased %.3f of packets, want ≈0.20", rate)
+	}
+	if lossy.Reordered == 0 {
+		t.Error("lossy link reordered nothing")
+	}
+}
+
 // TestSpecValidation exercises every structural error.
 func TestSpecValidation(t *testing.T) {
 	good := Spec{
@@ -155,6 +232,14 @@ func TestSpecValidation(t *testing.T) {
 		{"bad capacity", func(s *Spec) { s.Links[0].Capacity = 0 }, "capacity"},
 		{"bad util", func(s *Spec) { s.Links[0].Util = 1 }, "utilization"},
 		{"negative prop", func(s *Spec) { s.Links[0].Prop = -1 }, "negative"},
+		{"negative buffer", func(s *Spec) { s.Links[0].BufBytes = -1 }, "negative"},
+		{"negative util", func(s *Spec) { s.Links[0].Util = -0.1 }, "utilization"},
+		{"loss ≥ 1", func(s *Spec) { s.Links[0].Loss = 1 }, "loss"},
+		{"negative loss", func(s *Spec) { s.Links[0].Loss = -0.1 }, "loss"},
+		{"reorder ≥ 1", func(s *Spec) { s.Links[0].Reorder = 1; s.Links[0].ReorderDelay = 1 }, "reorder"},
+		{"negative reorder", func(s *Spec) { s.Links[0].Reorder = -0.1 }, "reorder"},
+		{"reorder no delay", func(s *Spec) { s.Links[0].Reorder = 0.1 }, "ReorderDelay"},
+		{"negative delay", func(s *Spec) { s.Links[0].ReorderDelay = -1 }, "ReorderDelay"},
 		{"empty route name", func(s *Spec) { s.Routes[0].Name = "" }, "empty name"},
 		{"dup route", func(s *Spec) { s.Routes = append(s.Routes, s.Routes[0]) }, "duplicate route"},
 		{"empty route", func(s *Spec) { s.Routes[0].Links = nil }, "is empty"},

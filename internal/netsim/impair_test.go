@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// impairFeed injects n fixed-size packets back-to-back through link and
+// returns the arrival order of their IDs at the sink.
+func impairFeed(sim *Simulator, link *Link, n int, gap Time) []uint64 {
+	var order []uint64
+	sink := func(pkt *Packet, _ Time) {
+		order = append(order, pkt.ID)
+		sim.FreePacket(pkt)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Schedule(sim.Now()+Time(i)*gap, func() {
+			pkt := sim.NewPacket()
+			pkt.ID = uint64(i + 1)
+			pkt.Size = 500
+			sim.Inject(pkt, []*Link{link}, sink)
+		})
+	}
+	sim.Run(sim.Now() + Time(n)*gap + Second)
+	return order
+}
+
+// TestImpairLossRate: the empirical erasure rate matches the configured
+// probability, losses are counted in RandLoss (not Drops), and the
+// survivors still arrive in order.
+func TestImpairLossRate(t *testing.T) {
+	sim := NewSimulator()
+	link := NewLink(sim, "l", 10_000_000, Millisecond, 0)
+	link.Impair(Impairment{Loss: 0.1, Seed: 3})
+
+	const n = 20_000
+	order := impairFeed(sim, link, n, Millisecond)
+
+	ctr := link.Counters()
+	if ctr.Drops != 0 {
+		t.Errorf("random loss leaked into the buffer-drop counter: %d", ctr.Drops)
+	}
+	if got := float64(ctr.RandLoss) / n; math.Abs(got-0.1) > 0.01 {
+		t.Errorf("loss rate %.3f, want ≈0.10", got)
+	}
+	if len(order)+int(ctr.RandLoss) != n {
+		t.Errorf("%d arrivals + %d losses ≠ %d sent", len(order), ctr.RandLoss, n)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("loss-only impairment reordered packets: %d before %d", order[i-1], order[i])
+		}
+	}
+}
+
+// TestImpairReorder: with a reordering impairment some packets arrive
+// out of order; without one, none do. Every packet still arrives.
+func TestImpairReorder(t *testing.T) {
+	inversions := func(imp *Impairment) (int, int, *Link) {
+		sim := NewSimulator()
+		link := NewLink(sim, "l", 10_000_000, Millisecond, 0)
+		if imp != nil {
+			link.Impair(*imp)
+		}
+		order := impairFeed(sim, link, 2000, Millisecond)
+		inv := 0
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				inv++
+			}
+		}
+		return inv, len(order), link
+	}
+
+	if inv, _, _ := inversions(nil); inv != 0 {
+		t.Fatalf("unimpaired link produced %d inversions", inv)
+	}
+	imp := &Impairment{Reorder: 0.1, ReorderDelay: 5 * Millisecond, Seed: 7}
+	inv, got, link := inversions(imp)
+	if got != 2000 {
+		t.Fatalf("reordering lost packets: %d/2000 arrived", got)
+	}
+	if inv == 0 {
+		t.Fatal("reordering impairment produced no out-of-order arrivals")
+	}
+	if link.Counters().Reordered == 0 {
+		t.Fatal("Reordered counter never advanced")
+	}
+}
+
+// TestImpairDeterminism: identical seeds give identical counters and
+// arrival transcripts; different seeds diverge.
+func TestImpairDeterminism(t *testing.T) {
+	run := func(seed int64) ([]uint64, LinkCounters) {
+		sim := NewSimulator()
+		link := NewLink(sim, "l", 10_000_000, Millisecond, 0)
+		link.Impair(Impairment{Loss: 0.05, Reorder: 0.05, ReorderDelay: 3 * Millisecond, Seed: seed})
+		order := impairFeed(sim, link, 5000, 500*Microsecond)
+		return order, link.Counters()
+	}
+	a1, c1 := run(42)
+	a2, c2 := run(42)
+	if c1 != c2 {
+		t.Fatalf("same-seed counters differ: %+v vs %+v", c1, c2)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("same-seed arrival counts differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same-seed arrival order diverges at %d: %d vs %d", i, a1[i], a2[i])
+		}
+	}
+	if _, c3 := run(43); c3 == c1 {
+		t.Fatal("different seeds produced identical counters (RNG not wired to seed)")
+	}
+}
+
+// TestImpairValidation: out-of-range impairments panic; a zero
+// impairment removes an installed one.
+func TestImpairValidation(t *testing.T) {
+	sim := NewSimulator()
+	link := NewLink(sim, "l", 10_000_000, 0, 0)
+	for name, cfg := range map[string]Impairment{
+		"loss ≥ 1":         {Loss: 1},
+		"negative loss":    {Loss: -0.1},
+		"reorder ≥ 1":      {Reorder: 1, ReorderDelay: Millisecond},
+		"negative reorder": {Reorder: -0.1, ReorderDelay: Millisecond},
+		"no reorder delay": {Reorder: 0.1},
+		"negative delay":   {ReorderDelay: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			link.Impair(cfg)
+		}()
+	}
+
+	link.Impair(Impairment{Loss: 0.5, Seed: 1})
+	link.Impair(Impairment{})
+	order := impairFeed(sim, link, 1000, Millisecond)
+	if len(order) != 1000 {
+		t.Fatalf("zero Impairment did not clear the installed loss: %d/1000 arrived", len(order))
+	}
+}

@@ -1,6 +1,9 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // LinkCounters is a snapshot of a link's cumulative activity, used by
 // monitors (internal/mrtg) and ground-truth utilization accounting.
@@ -10,7 +13,9 @@ type LinkCounters struct {
 	BytesOut  uint64 // bytes fully transmitted
 	Drops     uint64 // packets dropped at a full buffer
 	DropBytes uint64
-	Busy      Time // cumulative transmission (service) time
+	RandLoss  uint64 // packets erased by the random-loss impairment
+	Reordered uint64 // packets delayed by the reordering impairment
+	Busy      Time   // cumulative transmission (service) time
 }
 
 // A Link is a store-and-forward transmission line with a FIFO drop-tail
@@ -45,6 +50,54 @@ type Link struct {
 
 	onTransmit []func(pkt *Packet, done Time)
 	onDrop     []func(pkt *Packet, at Time)
+
+	// impair, when non-nil, applies stochastic loss and reordering to
+	// the link's packets; see Impair.
+	impair *impairState
+}
+
+// An Impairment configures a link's stochastic packet-level failures.
+// Loss erases an arriving packet with the given probability before it
+// is queued (a wire erasure, distinct from a buffer drop and counted
+// separately in RandLoss). Reorder delays a transmitted packet's
+// delivery to the next hop by an extra ReorderDelay with the given
+// probability, so it arrives behind packets transmitted after it.
+// All draws come from a private RNG seeded with Seed, so an impaired
+// simulation stays reproducible bit-for-bit.
+type Impairment struct {
+	Loss         float64 // erase probability in [0, 1)
+	Reorder      float64 // delay probability in [0, 1)
+	ReorderDelay Time    // extra delivery delay; must be positive when Reorder > 0
+	Seed         int64
+}
+
+// impairState is a link's live impairment: the configuration plus the
+// RNG its per-packet draws consume (in event order, so deterministic).
+type impairState struct {
+	cfg Impairment
+	rng *rand.Rand
+}
+
+// Impair installs (or, with a zero Impairment, removes) the link's
+// loss/reordering impairment. Reordered packets take a one-off
+// scheduled event instead of the allocation-free propagation ring, so
+// only impaired traffic pays for the flexibility. Out-of-range
+// probabilities panic, like the NewLink parameter checks.
+func (l *Link) Impair(cfg Impairment) {
+	if cfg.Loss < 0 || cfg.Loss >= 1 || cfg.Reorder < 0 || cfg.Reorder >= 1 {
+		panic(fmt.Sprintf("netsim: link %q: impairment probabilities loss=%v reorder=%v outside [0, 1)", l.name, cfg.Loss, cfg.Reorder))
+	}
+	if cfg.Reorder > 0 && cfg.ReorderDelay <= 0 {
+		panic(fmt.Sprintf("netsim: link %q: reordering needs a positive ReorderDelay, got %v", l.name, cfg.ReorderDelay))
+	}
+	if cfg.ReorderDelay < 0 {
+		panic(fmt.Sprintf("netsim: link %q: negative ReorderDelay %v", l.name, cfg.ReorderDelay))
+	}
+	if cfg.Loss == 0 && cfg.Reorder == 0 {
+		l.impair = nil
+		return
+	}
+	l.impair = &impairState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // txRec is one packet in service: its transmission time and completion
@@ -126,6 +179,16 @@ func Utilization(before, after LinkCounters, window Time) float64 {
 // arrive handles a packet reaching this link's input queue.
 func (l *Link) arrive(pkt *Packet, at Time) {
 	l.ctr.PktsIn++
+	if imp := l.impair; imp != nil && imp.cfg.Loss > 0 && imp.rng.Float64() < imp.cfg.Loss {
+		// Wire erasure: the packet vanishes before this hop's queue.
+		// Like a buffer drop the sink is never invoked, but the loss is
+		// counted separately and drop observers stay buffer-only.
+		l.ctr.RandLoss++
+		if pkt.sink == nil {
+			l.sim.FreePacket(pkt)
+		}
+		return
+	}
 	if l.buf > 0 && l.queued+pkt.Size > l.buf {
 		l.ctr.Drops++
 		l.ctr.DropBytes += uint64(pkt.Size)
@@ -161,6 +224,17 @@ func (l *Link) txDone() {
 	l.ctr.Busy += rec.tx
 	for _, fn := range l.onTransmit {
 		fn(pkt, rec.done)
+	}
+	if imp := l.impair; imp != nil && imp.cfg.Reorder > 0 && imp.rng.Float64() < imp.cfg.Reorder {
+		// Reordered delivery: this packet bypasses the FIFO propagation
+		// ring (whose invariant is constant per-link latency) and takes
+		// its own event at prop + ReorderDelay, arriving behind packets
+		// transmitted after it. The closure allocation is confined to
+		// impaired packets, keeping the unimpaired hot path alloc-free.
+		l.ctr.Reordered++
+		at := rec.done + l.prop + imp.cfg.ReorderDelay
+		l.sim.Schedule(at, func() { pkt.forward(l.sim, at) })
+		return
 	}
 	if l.prop == 0 {
 		pkt.forward(l.sim, rec.done)

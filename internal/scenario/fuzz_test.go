@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the scenario spec string arrives from the CLI untrusted;
+// whatever the input, Parse must either return a buildable scenario or
+// an error — never panic (a panic fails the fuzzer automatically).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"steady", "lrd", "flash", "migrate", "twin", "lossy", "reorder",
+		"lossy:load=0.7,loss=0.1", "reorder:delay=10ms", "twin:load=0.9",
+		"", ":", "steady:", "steady:load=2", "steady:delay=-1ns",
+		"steady:load=1e309", "steady:load=NaN", "steady:load=0.5,load=0.6",
+		"x:y=z", "steady:frobnicate=1", "steady:load=0.5,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		// Accepted specs must name a registry scenario and build.
+		if !strings.Contains(strings.Join(Names(), " "), s.Name) {
+			t.Fatalf("Parse(%q) returned unregistered scenario %q", in, s.Name)
+		}
+		if _, err := s.Build(1); err != nil {
+			t.Fatalf("Parse(%q) accepted an unbuildable scenario: %v", in, err)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Parse resolves a scenario spec string of the form
+//
+//	name[:key=value,...]
+//
+// against the registry. Keys: load (tight-link utilization, (0, 0.95]),
+// loss and reorder (probabilities in (0, 1)), delay (a Go duration,
+// e.g. 5ms). Malformed input returns an error; it never panics, which
+// FuzzParse enforces — the string arrives straight from the
+// `pathload -monitor -scenario` flag.
+func Parse(s string) (Scenario, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Scenario{}, fmt.Errorf("scenario: empty scenario name in %q", s)
+	}
+	var p Params
+	if hasParams {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			if !ok || k == "" || v == "" {
+				return Scenario{}, fmt.Errorf("scenario: malformed parameter %q (want key=value)", kv)
+			}
+			switch k {
+			case "load":
+				f, err := parseFrac(k, v, 0.95)
+				if err != nil {
+					return Scenario{}, err
+				}
+				p.Load = f
+			case "loss":
+				f, err := parseFrac(k, v, 1)
+				if err != nil {
+					return Scenario{}, err
+				}
+				p.Loss = f
+			case "reorder":
+				f, err := parseFrac(k, v, 1)
+				if err != nil {
+					return Scenario{}, err
+				}
+				p.Reorder = f
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return Scenario{}, fmt.Errorf("scenario: delay %q: %v", v, err)
+				}
+				if d <= 0 {
+					return Scenario{}, fmt.Errorf("scenario: delay %v must be positive", d)
+				}
+				p.ReorderDelay = netsim.Time(d)
+			default:
+				return Scenario{}, fmt.Errorf("scenario: unknown parameter %q (have load, loss, reorder, delay)", k)
+			}
+		}
+	}
+	return Get(name, p)
+}
+
+// parseFrac parses an exclusive-range (0, max) fraction.
+func parseFrac(key, v string, max float64) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %s %q: %v", key, v, err)
+	}
+	if f <= 0 || f >= max || f != f {
+		return 0, fmt.Errorf("scenario: %s %v outside (0, %v)", key, f, max)
+	}
+	return f, nil
+}
