@@ -129,6 +129,11 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "agent: heartbeat cadence (0 derives min(TTL/3, epoch) from the coordinator)")
 		pushEvery = flag.Duration("push", 0, "agent: contribution push cadence (0 pushes on every heartbeat)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), flagMatrix)
+	}
 	flag.Parse()
 
 	var m crosstraffic.Model
@@ -165,19 +170,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pathload: -monitor needs -rounds ≥ 1")
 			os.Exit(2)
 		}
-		if *stagger && *meshName == "" {
-			fmt.Fprintln(os.Stderr, "pathload: -stagger needs -mesh (the conflict graph comes from the shared backbone)")
-			os.Exit(2)
-		}
-		if *senders != "" && *meshName != "" {
-			fmt.Fprintln(os.Stderr, "pathload: -senders measures real paths; it excludes -mesh")
+		if err := validateFlagMatrix(*scen, *meshName, *senders, *schedName, *budget, *stagger); err != nil {
+			fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
 			os.Exit(2)
 		}
 		if *scen != "" {
-			if *meshName != "" || *senders != "" {
-				fmt.Fprintln(os.Stderr, "pathload: -scenario measures one composed path; it excludes -mesh and -senders")
-				os.Exit(2)
-			}
 			runScenario(*scen, *rounds, *seed, pathload.Config{
 				PacketsPerStream: *k,
 				StreamsPerFleet:  *n,
@@ -249,6 +246,54 @@ func main() {
 	fmt.Printf("ADR init:      %.2f Mb/s\n", res.ADR/1e6)
 	fmt.Printf("probe time:    %v (virtual), %v (wall)\n", res.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("sim events:    %d\n", net.Sim.Events())
+}
+
+// flagMatrix documents which -monitor mode flags compose; appended to
+// -h after the per-flag defaults. validateFlagMatrix enforces it.
+const flagMatrix = `
+Monitor-mode flag matrix (with -monitor):
+  (no mode flag)   independent single-hop simulator shards; composes with
+                   -schedule, -budget, -export
+  -mesh <shape>    shared-backbone fleet, sequenced on one virtual clock
+                   (replays byte-for-byte); composes with -schedule, -budget,
+                   -export; add -stagger for contention-aware admission on the
+                   live SharedSim fallback (non-deterministic interleave)
+  -senders a,b,…   real-network fleet over pathload-snd daemons; composes with
+                   -schedule, -budget, -export; excludes -mesh and -stagger
+                   (real paths have no shared backbone, hence no conflict graph)
+  -scenario spec   one composed adversarial path, rounds split across the
+                   scenario's epochs; excludes -mesh, -senders, -stagger, any
+                   non-fixed -schedule and -budget (a single path has no fleet
+                   to schedule); fleet-wide scenarios live in
+                   ` + "`repro -fig fleetscenarios`" + `
+`
+
+// validateFlagMatrix rejects contradictory -monitor mode combinations
+// up front, each error naming the remedy, so a bad invocation fails
+// loudly instead of silently ignoring a flag. The accepted matrix is
+// the one -h prints (flagMatrix).
+func validateFlagMatrix(scen, meshName, senders, schedName string, budget float64, stagger bool) error {
+	switch {
+	case scen != "" && meshName != "":
+		return fmt.Errorf("-scenario measures one composed path; it excludes -mesh (drop one; fleet-wide scenarios live in `repro -fig fleetscenarios`)")
+	case scen != "" && senders != "":
+		return fmt.Errorf("-scenario measures one composed simulated path; it excludes -senders (drop one)")
+	case scen != "" && stagger:
+		return fmt.Errorf("-scenario measures one path; -stagger only staggers a -mesh fleet (drop -stagger)")
+	case scen != "" && schedName != "" && schedName != "fixed":
+		return fmt.Errorf("-scenario runs its rounds back to back; -schedule %s only applies to a monitored fleet (drop -schedule)", schedName)
+	case scen != "" && budget > 0:
+		return fmt.Errorf("-scenario measures one path; the fleet-wide -budget cap only applies to a monitored fleet (drop -budget)")
+	case senders != "" && meshName != "":
+		return fmt.Errorf("-senders measures real paths; it excludes -mesh (drop one)")
+	case senders != "" && stagger:
+		return fmt.Errorf("-stagger needs -mesh: the conflict graph comes from the shared backbone, which real -senders paths do not have (drop -stagger)")
+	case stagger && meshName == "":
+		return fmt.Errorf("-stagger needs -mesh (the conflict graph comes from the shared backbone)")
+	case schedName == "budgeted" && budget <= 0:
+		return fmt.Errorf("-schedule budgeted needs -budget > 0 (the fleet's aggregate probe cap in Mb/s)")
+	}
+	return nil
 }
 
 // runScenario measures one composed scenario: build it, warm it up, and
@@ -535,14 +580,28 @@ func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[str
 		if o.stagger {
 			// Contention-aware admission: the mesh knows which paths
 			// share a tight link; never measure two of them at once.
+			// Admission policies block sessions, which a sequenced
+			// fleet's round barrier cannot tolerate, so -stagger selects
+			// the SharedSim fallback (live, not reproducible run-to-run).
 			cfg.Admission = schedule.NewStagger(m.TightOverlaps(), o.workers)
-			fmt.Printf("admission: staggering tight-link-sharing paths (workers %d)\n", o.workers)
+			fmt.Printf("admission: staggering tight-link-sharing paths (workers %d; non-deterministic interleave)\n", o.workers)
+			mon, err := m.SharedMonitorFleet(cfg, 10*netsim.Millisecond)
+			if err != nil {
+				return nil, nil, err
+			}
+			fmt.Printf("mesh fleet: %d paths over a %s backbone (%d links, shared-link contention)\n",
+				o.paths, o.mesh, len(m.Links()))
+			return mon, avail, nil
 		}
-		mon, err := m.MonitorFleet(cfg, 10*netsim.Millisecond)
+		mon, drv, err := m.MonitorFleet(cfg, 10*netsim.Millisecond)
 		if err != nil {
 			return nil, nil, err
 		}
-		fmt.Printf("mesh fleet: %d paths over a %s backbone (%d links, shared-link contention)\n",
+		// Per-link utilization series, one point per fleet round, onto
+		// the same store the per-path samples land in (/mrtg?link=...).
+		rec := m.NewLinkRecorder(store)
+		drv.OnRoundBoundary(func(round int) { rec.Snapshot(round) })
+		fmt.Printf("mesh fleet: %d paths over a %s backbone (%d links, sequenced — replays byte-for-byte)\n",
 			o.paths, o.mesh, len(m.Links()))
 		return mon, avail, nil
 	}

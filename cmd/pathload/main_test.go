@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlagMatrix pins the -monitor mode matrix: every rejected
+// combination errors with the remedy in the message, every documented
+// composition is accepted.
+func TestValidateFlagMatrix(t *testing.T) {
+	type combo struct {
+		scen, mesh, senders, sched string
+		budget                     float64
+		stagger                    bool
+	}
+	reject := map[string]struct {
+		c    combo
+		want string
+	}{
+		"scenario+mesh":       {combo{scen: "lossy", mesh: "star"}, "excludes -mesh"},
+		"scenario+senders":    {combo{scen: "lossy", senders: "a:1"}, "excludes -senders"},
+		"scenario+stagger":    {combo{scen: "lossy", stagger: true}, "-stagger"},
+		"scenario+adaptive":   {combo{scen: "lossy", sched: "adaptive"}, "-schedule"},
+		"scenario+budget":     {combo{scen: "lossy", budget: 1e6}, "-budget"},
+		"senders+mesh":        {combo{senders: "a:1", mesh: "star"}, "excludes -mesh"},
+		"senders+stagger":     {combo{senders: "a:1", stagger: true}, "needs -mesh"},
+		"stagger alone":       {combo{stagger: true}, "needs -mesh"},
+		"budgeted, no budget": {combo{sched: "budgeted"}, "needs -budget"},
+	}
+	for name, tc := range reject {
+		err := validateFlagMatrix(tc.c.scen, tc.c.mesh, tc.c.senders, tc.c.sched, tc.c.budget, tc.c.stagger)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
+		}
+	}
+	accept := map[string]combo{
+		"bare fleet":        {},
+		"scenario":          {scen: "lossy", sched: "fixed"},
+		"mesh":              {mesh: "star"},
+		"mesh+stagger":      {mesh: "star", stagger: true},
+		"mesh+budgeted":     {mesh: "star", sched: "budgeted", budget: 2e6},
+		"senders+adaptive":  {senders: "a:1,b:2", sched: "adaptive"},
+		"fleet budget wrap": {budget: 2e6},
+	}
+	for name, c := range accept {
+		if err := validateFlagMatrix(c.scen, c.mesh, c.senders, c.sched, c.budget, c.stagger); err != nil {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+	}
+}

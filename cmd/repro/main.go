@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 1-3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, baseline, timescale, scale, scale10k, trajectory, contention, adaptive, scenarios")
+	fig := flag.String("fig", "", "figure to reproduce: 1-3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, baseline, timescale, scale, scale10k, trajectory, contention, adaptive, scenarios, fleetscenarios")
 	all := flag.Bool("all", false, "reproduce every figure")
 	scale := flag.Float64("scale", 1.0, "scale factor for run counts and measurement windows (1 = paper scale)")
 	seed := flag.Int64("seed", 1, "master random seed")
@@ -43,7 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	figs := []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "17", "baseline", "timescale", "scale", "trajectory", "contention", "adaptive", "scenarios"}
+	figs := []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "17", "baseline", "timescale", "scale", "trajectory", "contention", "adaptive", "scenarios", "fleetscenarios"}
 	if !*all {
 		figs = strings.Split(*fig, ",")
 	}
@@ -119,6 +119,8 @@ func figLabel(f string) string {
 		return "adaptive scheduling"
 	case "scenarios":
 		return "scenario grading matrix"
+	case "fleetscenarios":
+		return "sequenced fleet scenarios"
 	default:
 		return "fig " + f
 	}
@@ -169,6 +171,8 @@ func render(f string, opt experiments.Options) (string, error) {
 		return experiments.RenderAdaptive(experiments.AdaptiveSchedule(opt)), nil
 	case "scenarios":
 		return experiments.RenderScenarios(experiments.Scenarios(opt)), nil
+	case "fleetscenarios":
+		return experiments.RenderFleetScenarios(experiments.FleetScenarios(opt)), nil
 	default:
 		return "", fmt.Errorf("unknown figure %q", f)
 	}

@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/simprobe"
+
+	pathload "repro"
+)
+
+// Fleet-scenario parameters. The interval must comfortably exceed the
+// cross-path round-end skew: a sequenced session's next round starts at
+// its *own* previous round end plus its scheduler gap, so as long as
+// the smallest gap (Interval·(1−Jitter)) outlasts how far siblings'
+// round ends drift apart, a path's timeline is identical with or
+// without the rest of the fleet probing — the solo-replay control below
+// checks exactly that. Pathload rounds here take 8–18 s of virtual
+// time, so round ends drift up to ~10 s apart; 15 s × 0.8 = 12 s of
+// minimum gap keeps every path's next-round anchor past the barrier.
+const (
+	fleetPaths    = 4
+	fleetInterval = 15 * time.Second // virtual, via the sequenced driver
+	fleetJitter   = 0.2
+)
+
+// A FleetRound is one path's measurement round inside a fleet cell,
+// graded against its own route's truth in the epoch the round ran in.
+type FleetRound struct {
+	Path         string
+	Round, Epoch int
+	// Truth is the route's analytic avail-bw in the round's epoch.
+	Truth float64
+	// At is the path-local virtual time offset of the round's start.
+	At time.Duration
+	// Lo and Hi bracket the reported range; Grey marks a grey region.
+	Lo, Hi float64
+	Grey   bool
+	// Err is the measurement error text ("" for successful rounds).
+	Err string
+}
+
+// Hit reports whether the round's range brackets its epoch truth
+// within the shared scenario slack.
+func (r FleetRound) Hit() bool {
+	return r.Err == "" && r.Truth >= r.Lo-scenarioSlack && r.Truth <= r.Hi+scenarioSlack
+}
+
+// A FleetLinkEpoch is one backbone link's span-weighted mean
+// utilization over the fleet rounds that ran in one epoch, recorded by
+// mesh.LinkRecorder at the driver's round boundaries — the per-link
+// view the MRTG export serves.
+type FleetLinkEpoch struct {
+	Link     string
+	Epoch    int
+	Capacity float64
+	Util     float64
+}
+
+// AvailBw returns the link's windowed spare capacity C·(1−u).
+func (l FleetLinkEpoch) AvailBw() float64 { return l.Capacity * (1 - l.Util) }
+
+// A FleetCell is one fleet scenario's monitored run: every path's
+// rounds plus the backbone's per-link per-epoch utilization, and — for
+// the stationary control — the solo-replay verdict per path.
+type FleetCell struct {
+	Scenario, Info string
+	Rounds         []FleetRound // sorted by (path, round)
+	Links          []FleetLinkEpoch
+	// SoloMatch holds, for the steady-disjoint control only, one entry
+	// per path: whether the path's fleet transcript is byte-identical
+	// to a fresh solo run over an identically seeded mesh.
+	SoloMatch []bool
+}
+
+// Hits counts bracketing rounds.
+func (c FleetCell) Hits() int {
+	n := 0
+	for _, r := range c.Rounds {
+		if r.Hit() {
+			n++
+		}
+	}
+	return n
+}
+
+// A FleetScenariosResult is the whole fleet-scenario matrix.
+type FleetScenariosResult struct {
+	Cells        []FleetCell
+	K, N, Rounds int
+}
+
+// FleetScenarios runs every registry fleet scenario as a sequenced
+// mesh.MonitorFleet: fleetPaths sessions over one shared backbone on
+// one virtual clock, epochs advanced in the driver's round-boundary
+// hook so every path changes regime in the same fleet round, per-link
+// utilization recorded at the same boundaries. Cells run in parallel on
+// isolated seeded simulations; identical Options give byte-identical
+// results regardless of host scheduling, and the steady-disjoint cell
+// additionally proves each path's fleet transcript equals a fresh solo
+// run (the PR 3 disjoint-control argument, lifted to whole monitor
+// sessions).
+func FleetScenarios(opt Options) FleetScenariosResult {
+	opt = opt.withDefaults()
+	cfg := contentionConfig(opt)
+	rounds := opt.runs(4)
+
+	names := scenario.FleetNames()
+	cells := make([]FleetCell, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, name := i, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells[i] = runFleetCell(name, rounds, opt.runSeed(i), cfg)
+		}()
+	}
+	wg.Wait()
+	return FleetScenariosResult{Cells: cells, K: cfg.PacketsPerStream, N: cfg.StreamsPerFleet, Rounds: rounds}
+}
+
+// fleetMonitorConfig is the MonitorConfig shared by the fleet run and
+// its solo-replay controls — identical by construction, so a transcript
+// difference can only come from the co-probing itself.
+func fleetMonitorConfig(rounds int, seed int64, cfg pathload.Config) pathload.MonitorConfig {
+	return pathload.MonitorConfig{
+		Rounds:   rounds,
+		Interval: fleetInterval,
+		Jitter:   fleetJitter,
+		Seed:     seed,
+		Config:   cfg,
+		Buffer:   fleetPaths * rounds, // publish never blocks a session
+	}
+}
+
+// linkWindow is one LinkRecorder observation.
+type linkWindow struct {
+	link     string
+	round    int
+	span     time.Duration
+	util     float64
+	capacity float64
+}
+
+// linkCollector gathers LinkRecorder windows; it implements
+// mesh.LinkSink. The round-boundary hook runs them one at a time, but
+// the final post-Wait snapshot comes from another goroutine, so the
+// mutex stays.
+type linkCollector struct {
+	mu      sync.Mutex
+	windows []linkWindow
+}
+
+func (c *linkCollector) ObserveLink(link string, round int, at, span time.Duration, util, capacity float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.windows = append(c.windows, linkWindow{link, round, span, util, capacity})
+}
+
+// runFleetCell measures one fleet scenario end to end.
+func runFleetCell(name string, rounds int, seed int64, cfg pathload.Config) FleetCell {
+	s, err := scenario.GetFleet(name, fleetPaths)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fleetscenarios: %v", err))
+	}
+	inst := s.MustBuild(seed)
+	inst.Mesh.Warmup(warmup)
+
+	monCfg := fleetMonitorConfig(rounds, seed, cfg)
+	mon, drv, err := inst.Mesh.MonitorFleet(monCfg, contentionReverse)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fleetscenarios: %s: %v", name, err))
+	}
+
+	// The round-boundary hook, running with exclusive simulator access
+	// while every session is parked at the barrier: close the per-link
+	// utilization window of the round just finished (so each window
+	// covers exactly one regime), then advance the epoch if fleet round
+	// n belongs to a later one — rounds split evenly across epochs,
+	// epoch(r) = r·E/rounds, exactly like the single-path cells.
+	links := &linkCollector{}
+	rec := inst.Mesh.NewLinkRecorder(links)
+	epochs := inst.Epochs()
+	drv.OnRoundBoundary(func(n int) {
+		rec.Snapshot(n)
+		for inst.Epoch() < n*epochs/rounds {
+			inst.Advance()
+			inst.Sim().RunFor(scenarioSettle)
+		}
+	})
+
+	samples := collectRun(mon)
+	rec.Snapshot(rounds) // the last round's window; the fleet is done
+
+	// Grade each sample against its own route's truth in its round's
+	// epoch.
+	routeIdx := map[string]int{}
+	for i, p := range inst.Paths {
+		routeIdx[p.Name] = i
+	}
+	cell := FleetCell{Scenario: s.Name, Info: s.Info}
+	for _, sm := range samples {
+		epoch := sm.Round * epochs / rounds
+		truth, _ := s.RouteTruth(epoch, routeIdx[sm.Path])
+		fr := FleetRound{Path: sm.Path, Round: sm.Round, Epoch: epoch, Truth: truth, At: sm.At}
+		if sm.Err != nil {
+			fr.Err = sm.Err.Error()
+		} else {
+			fr.Lo, fr.Hi, fr.Grey = sm.Result.Lo, sm.Result.Hi, sm.Result.GreySet
+		}
+		cell.Rounds = append(cell.Rounds, fr)
+	}
+	sort.Slice(cell.Rounds, func(i, j int) bool {
+		a, b := cell.Rounds[i], cell.Rounds[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return a.Round < b.Round
+	})
+	cell.Links = epochLinkMeans(links.windows, epochs, rounds)
+
+	if name == "steady-disjoint" {
+		// The replay proof: every path re-run solo, on a fresh mesh
+		// built from the same seed, must reproduce its fleet transcript
+		// byte for byte.
+		byPath := map[string][]pathload.Sample{}
+		for _, sm := range samples {
+			byPath[sm.Path] = append(byPath[sm.Path], sm)
+		}
+		for i, p := range inst.Paths {
+			solo := runSoloPath(s, i, seed, monCfg)
+			cell.SoloMatch = append(cell.SoloMatch, transcript(solo) == transcript(byPath[p.Name]))
+		}
+	}
+	return cell
+}
+
+// collectRun starts the monitor, drains its results, and waits it out.
+func collectRun(mon *pathload.Monitor) []pathload.Sample {
+	if err := mon.Start(); err != nil {
+		panic(fmt.Sprintf("experiments: fleetscenarios: %v", err))
+	}
+	var samples []pathload.Sample
+	for sm := range mon.Results() {
+		samples = append(samples, sm)
+	}
+	mon.Wait()
+	return samples
+}
+
+// runSoloPath runs one path of the scenario alone: same full mesh
+// (identical seed, identical cross traffic everywhere), same monitor
+// configuration, but a single-prober sequencer — so the only difference
+// from the fleet run is the absence of sibling probe streams.
+func runSoloPath(s scenario.Scenario, pathIdx int, seed int64, monCfg pathload.MonitorConfig) []pathload.Sample {
+	inst := s.MustBuild(seed)
+	inst.Mesh.Warmup(warmup)
+	seq := simprobe.NewSequencer(inst.Sim())
+	p := seq.NewProber(inst.Paths[pathIdx].Route, contentionReverse)
+	drv := simprobe.NewSequencedDriver(seq)
+	pname := inst.Paths[pathIdx].Name
+	drv.Register(pname, p)
+	monCfg.Driver = drv
+	mon, err := pathload.NewMonitor(monCfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fleetscenarios: solo %s: %v", pname, err))
+	}
+	if err := mon.AddPath(pname, p); err != nil {
+		panic(fmt.Sprintf("experiments: fleetscenarios: solo %s: %v", pname, err))
+	}
+	return collectRun(mon)
+}
+
+// transcript renders one path's samples as the canonical byte-for-byte
+// comparison form: round, path-local virtual clock, probing span, range
+// and grey verdict — every deterministic field, no wall clock.
+func transcript(samples []pathload.Sample) string {
+	sorted := append([]pathload.Sample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
+	var b strings.Builder
+	for _, sm := range sorted {
+		if sm.Err != nil {
+			fmt.Fprintf(&b, "[%d] @%v error: %v\n", sm.Round, sm.At, sm.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "[%d] @%v span=%v [%.4f,%.4f] grey=%t\n",
+			sm.Round, sm.At, sm.Result.Elapsed, sm.Result.Lo/1e6, sm.Result.Hi/1e6, sm.Result.GreySet)
+	}
+	return b.String()
+}
+
+// epochLinkMeans folds the recorder's per-round windows into one
+// span-weighted mean utilization per link per epoch. Window n covers
+// fleet round n−1 (it is closed at boundary n before any epoch
+// advance), so it belongs to epoch(n−1).
+func epochLinkMeans(windows []linkWindow, epochs, rounds int) []FleetLinkEpoch {
+	type key struct {
+		link  string
+		epoch int
+	}
+	sums := map[key]*FleetLinkEpoch{}
+	weights := map[key]float64{}
+	var order []key
+	for _, w := range windows {
+		k := key{w.link, (w.round - 1) * epochs / rounds}
+		e := sums[k]
+		if e == nil {
+			e = &FleetLinkEpoch{Link: w.link, Epoch: k.epoch, Capacity: w.capacity}
+			sums[k] = e
+			order = append(order, k)
+		}
+		e.Util += w.util * w.span.Seconds()
+		weights[k] += w.span.Seconds()
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].link != order[j].link {
+			return order[i].link < order[j].link
+		}
+		return order[i].epoch < order[j].epoch
+	})
+	out := make([]FleetLinkEpoch, 0, len(order))
+	for _, k := range order {
+		e := *sums[k]
+		if w := weights[k]; w > 0 {
+			e.Util /= w
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// RenderFleetScenarios formats the matrix: per scenario, every path's
+// rounds against their per-epoch truths, the backbone's per-link
+// per-epoch utilization, and the steady-disjoint solo-replay verdict.
+// The output contains no wall-clock fields: identical Options render
+// byte-identically.
+func RenderFleetScenarios(r FleetScenariosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet scenarios: sequenced MonitorFleet over shared backbones, %d paths on one virtual clock\n", fleetPaths)
+	fmt.Fprintf(&b, "stream params K=%d N=%d; %d rounds per path; gaps %v±%.0f%% virtual; slack = ω+χ = %.1f Mb/s\n",
+		r.K, r.N, r.Rounds, fleetInterval, fleetJitter*100, scenarioSlack/1e6)
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "\n%s — %s\n", c.Scenario, c.Info)
+		fmt.Fprintf(&b, "%-9s %6s %6s %12s %-22s %7s %5s %4s\n",
+			"path", "round", "epoch", "at", "range (Mb/s)", "truth", "grey", "hit")
+		last := ""
+		for _, fr := range c.Rounds {
+			if fr.Path != last && last != "" {
+				fmt.Fprintln(&b)
+			}
+			last = fr.Path
+			if fr.Err != "" {
+				fmt.Fprintf(&b, "%-9s %6d %6d %12v %-22s %7.2f %5s %4s\n",
+					fr.Path, fr.Round, fr.Epoch, fr.At, "error: "+fr.Err, fr.Truth/1e6, "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %6d %6d %12v [%8.2f, %8.2f ] %7.2f %5t %4t\n",
+				fr.Path, fr.Round, fr.Epoch, fr.At, fr.Lo/1e6, fr.Hi/1e6, fr.Truth/1e6, fr.Grey, fr.Hit())
+		}
+		fmt.Fprintf(&b, "hits %d/%d\n", c.Hits(), len(c.Rounds))
+		fmt.Fprintf(&b, "links (mean utilization per epoch):\n")
+		for _, l := range c.Links {
+			fmt.Fprintf(&b, "  %-8s epoch %d  cap %5.1f Mb/s  util %5.1f%%  avail %5.2f Mb/s\n",
+				l.Link, l.Epoch, l.Capacity/1e6, l.Util*100, l.AvailBw()/1e6)
+		}
+		if c.SoloMatch != nil {
+			ok := 0
+			for _, m := range c.SoloMatch {
+				if m {
+					ok++
+				}
+			}
+			fmt.Fprintf(&b, "solo replay: %d/%d paths byte-identical to their fleet transcripts\n", ok, len(c.SoloMatch))
+		}
+	}
+	return b.String()
+}

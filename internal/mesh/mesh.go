@@ -361,17 +361,48 @@ func (m *Mesh) SequencedProbers(reverseDelay netsim.Time) (*simprobe.Sequencer, 
 	return seq, probers
 }
 
-// MonitorFleet wires the mesh into a pathload.Monitor: one
+// MonitorFleet wires the mesh into a sequenced pathload.Monitor: one
+// Sequencer-backed prober per path registered under the path's name,
+// all driven by a simprobe.SequencedDriver installed as the monitor's
+// Driver. Sessions park at the fleet round barrier between rounds and
+// spend scheduler gaps in virtual time, so the whole monitored fleet
+// advances on one virtual clock and an identical configuration replays
+// byte-for-byte regardless of host scheduling. Warm the mesh up first;
+// install any OnRoundBoundary hook (fleet-scenario epoch advances,
+// link-counter snapshots) on the returned driver before Start; the
+// caller starts and owns the returned monitor.
+//
+// The config must leave Admission nil (the driver owns the
+// interleave) and paths must not be factory-backed — pathload.Monitor
+// enforces both at Start. For a live, non-deterministic fleet (e.g.
+// wall-clock admission experiments) use SharedMonitorFleet.
+func (m *Mesh) MonitorFleet(cfg pathload.MonitorConfig, reverseDelay netsim.Time) (*pathload.Monitor, *simprobe.SequencedDriver, error) {
+	seq, probers := m.SequencedProbers(reverseDelay)
+	drv := simprobe.NewSequencedDriver(seq)
+	cfg.Driver = drv
+	mon, err := pathload.NewMonitor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, p := range m.paths {
+		drv.Register(p.Name, probers[i])
+		if err := mon.AddPath(p.Name, probers[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return mon, drv, nil
+}
+
+// SharedMonitorFleet is the non-deterministic fallback: one
 // SharedSim-backed prober per path, registered under the path's name.
 // The monitor's concurrent sessions serialize on the one simulator, so
 // overlapping paths contend while samples land in the configured
-// Results channel and SampleSink as usual. Warm the mesh up first; the
-// caller starts and owns the returned monitor.
-//
-// Monitor scheduling is goroutine-driven, so fleet results over a
-// shared mesh are live and race-free but not reproducible run-to-run;
-// use SequencedProbers when determinism matters.
-func (m *Mesh) MonitorFleet(cfg pathload.MonitorConfig, reverseDelay netsim.Time) (*pathload.Monitor, error) {
+// Results channel and SampleSink as usual, but the interleave follows
+// the host scheduler — fleet results are live and race-free, not
+// reproducible run-to-run. It is the only fleet mode compatible with
+// Admission policies (schedule.NewStagger), which would stall
+// MonitorFleet's round barrier.
+func (m *Mesh) SharedMonitorFleet(cfg pathload.MonitorConfig, reverseDelay netsim.Time) (*pathload.Monitor, error) {
 	mon, err := pathload.NewMonitor(cfg)
 	if err != nil {
 		return nil, err

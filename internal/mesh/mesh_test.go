@@ -400,14 +400,14 @@ func (c *countingSink) Observe(s pathload.Sample) {
 	}
 }
 
-// TestMonitorFleetOverMesh: the SharedSim-backed session factory feeds
+// TestMonitorFleetOverMesh: the SharedSim-backed fallback fleet feeds
 // a pathload.Monitor whose sessions contend on one simulator; every
 // path must deliver every round, to the channel and the sink alike.
 func TestMonitorFleetOverMesh(t *testing.T) {
 	m := Star(4, 5).MustBuild()
 	m.Warmup(2 * netsim.Second)
 	sink := &countingSink{}
-	mon, err := m.MonitorFleet(pathload.MonitorConfig{
+	mon, err := m.SharedMonitorFleet(pathload.MonitorConfig{
 		Workers:  4,
 		Rounds:   2,
 		Interval: 20 * time.Millisecond,
@@ -445,9 +445,13 @@ func TestMonitorFleetOverMesh(t *testing.T) {
 			t.Errorf("%s: sink saw %d rounds, want 2", id, n)
 		}
 	}
-	// MonitorFleet must reject a broken config rather than half-wire it.
-	if _, err := m.MonitorFleet(pathload.MonitorConfig{Jitter: 2}, 0); err == nil {
+	// Both fleet constructors must reject a broken config rather than
+	// half-wire it.
+	if _, err := m.SharedMonitorFleet(pathload.MonitorConfig{Jitter: 2}, 0); err == nil {
 		t.Error("invalid monitor config accepted")
+	}
+	if _, _, err := m.MonitorFleet(pathload.MonitorConfig{Jitter: 2}, 0); err == nil {
+		t.Error("invalid monitor config accepted by sequenced fleet")
 	}
 }
 

@@ -1,0 +1,209 @@
+package mesh
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	pathload "repro"
+	"repro/internal/netsim"
+	"repro/internal/schedule"
+	"repro/internal/simprobe"
+)
+
+// driverFleetConfig is a small-but-real sequenced fleet config shared by
+// the lifecycle tests: virtual-time gaps, enough buffer that no session
+// blocks on the channel mid-barrier.
+func driverFleetConfig(paths, rounds int) pathload.MonitorConfig {
+	return pathload.MonitorConfig{
+		Rounds:   rounds,
+		Interval: 500 * time.Millisecond,
+		Seed:     7,
+		Config:   pathload.Config{PacketsPerStream: 40, StreamsPerFleet: 4},
+		Buffer:   paths * (rounds + 1),
+	}
+}
+
+// TestMonitorDriverRejectsUnsupportedConfigs: a sequenced driver cannot
+// host factory-backed (wall-clock-healing) sessions or an Admission
+// policy; Start must say so before any goroutine runs, with the remedy
+// in the message.
+func TestMonitorDriverRejectsUnsupportedConfigs(t *testing.T) {
+	m := Disjoint(2, 11).MustBuild()
+	m.Warmup(2 * netsim.Second)
+	seq, probers := m.SequencedProbers(10 * netsim.Millisecond)
+	drv := simprobe.NewSequencedDriver(seq)
+	for i, p := range m.Paths() {
+		drv.Register(p.Name, probers[i])
+	}
+
+	cfg := driverFleetConfig(2, 1)
+	cfg.Driver = drv
+	mon, err := pathload.NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.AddPath("path-00", probers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.AddPathFactory("path-01", func() (pathload.Prober, error) {
+		return probers[1], nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = mon.Start()
+	if err == nil || !strings.Contains(err.Error(), "factory-backed") {
+		t.Fatalf("factory path under a Driver: err = %v, want factory-backed rejection", err)
+	}
+
+	cfg = driverFleetConfig(2, 1)
+	cfg.Driver = drv
+	cfg.Admission = schedule.NewWorkers(1)
+	mon, err = pathload.NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.AddPath("path-00", probers[0]); err != nil {
+		t.Fatal(err)
+	}
+	err = mon.Start()
+	if err == nil || !strings.Contains(err.Error(), "Admission") {
+		t.Fatalf("Admission under a Driver: err = %v, want Admission rejection", err)
+	}
+}
+
+// TestMonitorDriverStopAtBarrier: Stop on an unbounded (Rounds == 0)
+// sequenced fleet is observed as soon as the round barrier releases —
+// every parked session wakes, retires its prober, the driver's Drive
+// loop returns, and Results closes. The test would hang (and trip the
+// timeout guard) if a session stayed parked past Stop.
+func TestMonitorDriverStopAtBarrier(t *testing.T) {
+	m := Star(4, 5).MustBuild()
+	m.Warmup(2 * netsim.Second)
+	mon, _, err := m.MonitorFleet(driverFleetConfig(4, 0), 10*netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range mon.Results() {
+			if s.Err != nil {
+				t.Errorf("%s round %d: %v", s.Path, s.Round, s.Err)
+			}
+			total++
+			if total == 4 {
+				// One full fleet round observed; the fleet is at or
+				// heading into the round barrier.
+				mon.Stop()
+			}
+		}
+		mon.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("monitor did not shut down after Stop at the fleet round barrier")
+	}
+	if total < 4 {
+		t.Fatalf("%d samples before close, want at least one full fleet round (4)", total)
+	}
+}
+
+// flakyProber wraps a sequenced prober and fails the first SendStream
+// outright, before touching the simulator — the shape of a transport
+// error surfacing mid-round on one fleet member.
+type flakyProber struct {
+	inner *simprobe.Prober
+	mu    sync.Mutex
+	fails int
+}
+
+var errFlaky = errors.New("injected stream failure")
+
+func (f *flakyProber) SendStream(spec pathload.StreamSpec) (pathload.StreamResult, error) {
+	f.mu.Lock()
+	if f.fails > 0 {
+		f.fails--
+		f.mu.Unlock()
+		return pathload.StreamResult{}, errFlaky
+	}
+	f.mu.Unlock()
+	return f.inner.SendStream(spec)
+}
+
+func (f *flakyProber) Idle(d time.Duration) error { return f.inner.Idle(d) }
+func (f *flakyProber) RTT() time.Duration         { return f.inner.RTT() }
+
+// TestMonitorDriverSurvivesProberError: a measurement error on one
+// sequenced session must not wedge the fleet round barrier. The failed
+// round publishes its error sample, the session parks at the barrier
+// like any other, and every path — including the one that failed —
+// delivers all its remaining rounds.
+func TestMonitorDriverSurvivesProberError(t *testing.T) {
+	m := Disjoint(2, 11).MustBuild()
+	m.Warmup(2 * netsim.Second)
+	seq, probers := m.SequencedProbers(10 * netsim.Millisecond)
+	drv := simprobe.NewSequencedDriver(seq)
+
+	cfg := driverFleetConfig(2, 3)
+	cfg.Driver = drv
+	mon, err := pathload.NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyProber{inner: probers[0], fails: 1}
+	wrapped := []pathload.Prober{flaky, probers[1]}
+	for i, p := range m.Paths() {
+		// The driver owns the inner sequenced prober (RoundEnd/Gap/Retire
+		// act on it); the monitor measures through the wrapper.
+		drv.Register(p.Name, probers[i])
+		if err := mon.AddPath(p.Name, wrapped[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		path  string
+		round int
+	}
+	got := map[key]error{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range mon.Results() {
+			got[key{s.Path, s.Round}] = s.Err
+		}
+		mon.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("fleet stalled after an injected prober error")
+	}
+
+	if len(got) != 6 {
+		t.Fatalf("%d samples, want 6 (2 paths x 3 rounds): %v", len(got), got)
+	}
+	for k, err := range got {
+		if k == (key{"path-00", 0}) {
+			if !errors.Is(err, errFlaky) {
+				t.Errorf("path-00 round 0: err = %v, want the injected failure", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s round %d: unexpected error %v", k.path, k.round, err)
+		}
+	}
+}

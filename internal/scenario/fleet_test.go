@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFleetRegistryTruths pins every fleet scenario's per-route
+// per-epoch analytic truth on a 4-path fleet — the numbers the
+// fleetscenarios experiment grades against.
+func TestFleetRegistryTruths(t *testing.T) {
+	const n = 4
+	want := map[string][][]float64{ // scenario -> epoch -> per-route truth
+		"migrate-chain":   {{4.5e6, 4.5e6, 4.5e6, 4.5e6}, {4.0e6, 4.0e6, 4.0e6, 4.0e6}},
+		"flash-star":      {{4.5e6, 4.5e6, 4.5e6, 4.5e6}, {1.5e6, 1.5e6, 1.5e6, 1.5e6}},
+		"surge-disjoint":  {{5e6, 5e6, 5e6, 5e6}, {2e6, 3e6, 5e6, 4e6}},
+		"steady-disjoint": {{5e6, 5e6, 5e6, 5e6}},
+	}
+	if got := FleetNames(); len(got) != len(want) {
+		t.Fatalf("FleetNames() = %v, want %d scenarios", got, len(want))
+	}
+	for _, name := range FleetNames() {
+		s, err := GetFleet(name, n)
+		if err != nil {
+			t.Fatalf("GetFleet(%q): %v", name, err)
+		}
+		epochs := want[s.Name]
+		if len(s.Epochs) != len(epochs) {
+			t.Errorf("%s: %d epochs, want %d", s.Name, len(s.Epochs), len(epochs))
+			continue
+		}
+		if len(s.Spec.Routes) != n {
+			t.Errorf("%s: %d routes, want %d", s.Name, len(s.Spec.Routes), n)
+			continue
+		}
+		for e, truths := range epochs {
+			for r, truth := range truths {
+				// 1 bit/s tolerance absorbs C·(1−u) float rounding.
+				if a, _ := s.RouteTruth(e, r); math.Abs(a-truth) > 1 {
+					t.Errorf("%s epoch %d route %d: truth %v, want %v", s.Name, e, r, a, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestMigrateChainTightHopMoves: the tentpole scenario's defining
+// property — every route's tight hop migrates at the epoch boundary.
+func TestMigrateChainTightHopMoves(t *testing.T) {
+	s, err := GetFleet("migrate-chain", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range s.Spec.Routes {
+		_, h0 := s.RouteTruth(0, r)
+		_, h1 := s.RouteTruth(1, r)
+		if h0 == h1 {
+			t.Errorf("route %d: tight hop stayed at %d across the swap", r, h0)
+		}
+	}
+}
+
+// TestFleetScenariosBuild: every fleet scenario builds and runs its
+// epoch machinery end to end.
+func TestFleetScenariosBuild(t *testing.T) {
+	for _, name := range FleetNames() {
+		s, err := GetFleet(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := s.MustBuild(7)
+		if len(inst.Paths) != 4 {
+			t.Fatalf("%s: %d paths, want 4", name, len(inst.Paths))
+		}
+		for inst.Advance() {
+		}
+		if inst.Epoch() != inst.Epochs()-1 {
+			t.Errorf("%s: ended at epoch %d of %d", name, inst.Epoch(), inst.Epochs())
+		}
+	}
+}
+
+func TestGetFleetErrors(t *testing.T) {
+	if _, err := GetFleet("zzz", 4); err == nil || !strings.Contains(err.Error(), "unknown fleet") {
+		t.Errorf("unknown fleet: err = %v", err)
+	}
+	if _, err := GetFleet("flash-star", 0); err == nil || !strings.Contains(err.Error(), "at least one path") {
+		t.Errorf("zero paths: err = %v", err)
+	}
+}

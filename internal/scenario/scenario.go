@@ -81,8 +81,10 @@ type Scenario struct {
 	// designed to expose ("" when SLoPS is expected to track).
 	FailureMode string
 
-	// Spec is the base topology; exactly one route. Link utilizations
-	// are epoch-0 values (later epochs override via Epochs).
+	// Spec is the base topology: one route for the classic single-path
+	// scenarios, several for fleet scenarios over a shared backbone.
+	// Link utilizations are epoch-0 values (later epochs override via
+	// Epochs).
 	Spec mesh.Spec
 	// Epochs holds at least one entry; entry 0 applies from Build on.
 	Epochs []Epoch
@@ -93,8 +95,8 @@ func (s Scenario) validate() error {
 	if err := s.Spec.Validate(); err != nil {
 		return err
 	}
-	if len(s.Spec.Routes) != 1 {
-		return fmt.Errorf("scenario %q: want exactly one route, got %d", s.Name, len(s.Spec.Routes))
+	if len(s.Spec.Routes) < 1 {
+		return fmt.Errorf("scenario %q: want at least one route, got %d", s.Name, len(s.Spec.Routes))
 	}
 	if len(s.Epochs) == 0 {
 		return fmt.Errorf("scenario %q: no epochs", s.Name)
@@ -137,16 +139,18 @@ func (s Scenario) utilIn(l mesh.LinkSpec, e int) float64 {
 	return l.Util
 }
 
-// TruthForEpoch returns the analytic ground truth of epoch e: the
-// end-to-end available bandwidth A = min over the route of C_l·(1−u_l)
-// (the flash peak counts as utilization on its link) and the tight hop
-// index, earliest hop winning exact ties.
-func (s Scenario) TruthForEpoch(e int) (avail float64, tightHop int) {
+// RouteTruth returns the analytic ground truth of route r in epoch e:
+// the end-to-end available bandwidth A = min over the route of
+// C_l·(1−u_l) (the flash peak counts as utilization on its link) and
+// the tight hop index, earliest hop winning exact ties. Fleet
+// scenarios have one truth per route per epoch; a migrating-tight-link
+// epoch moves every route's tight hop at once.
+func (s Scenario) RouteTruth(e, r int) (avail float64, tightHop int) {
 	byName := map[string]mesh.LinkSpec{}
 	for _, l := range s.Spec.Links {
 		byName[l.Name] = l
 	}
-	for hop, name := range s.Spec.Routes[0].Links {
+	for hop, name := range s.Spec.Routes[r].Links {
 		l := byName[name]
 		a := l.Capacity * (1 - s.utilIn(l, e))
 		if f := s.Epochs[e].Flash; f != nil && f.Link == name {
@@ -159,14 +163,22 @@ func (s Scenario) TruthForEpoch(e int) (avail float64, tightHop int) {
 	return avail, tightHop
 }
 
+// TruthForEpoch is RouteTruth for the first route — the whole truth of
+// a classic single-path scenario.
+func (s Scenario) TruthForEpoch(e int) (avail float64, tightHop int) {
+	return s.RouteTruth(e, 0)
+}
+
 // An Instance is one built, running scenario: a live mesh whose link
 // pool carries the epoch-0 regime, plus the stopped delta aggregates
 // and flash sources of every later epoch, ready to toggle at Advance.
 type Instance struct {
 	Scenario Scenario
 	Mesh     *mesh.Mesh
-	// Path is the scenario's single monitored route.
-	Path *mesh.Path
+	// Paths holds the scenario's monitored routes in spec order; Path
+	// is the first of them, the whole fleet of a single-path scenario.
+	Paths []*mesh.Path
+	Path  *mesh.Path
 
 	epoch   int
 	deltas  [][]*crosstraffic.Aggregate // per epoch, the extra load above the base build
@@ -201,7 +213,7 @@ func (s Scenario) Build(seed int64) (*Instance, error) {
 		return nil, err
 	}
 
-	inst := &Instance{Scenario: s, Mesh: m, Path: m.Paths()[0]}
+	inst := &Instance{Scenario: s, Mesh: m, Paths: m.Paths(), Path: m.Paths()[0]}
 	sources := s.Spec.SourcesPerLink
 	if sources == 0 {
 		sources = mesh.DefaultSourcesPerLink
@@ -281,16 +293,24 @@ func (i *Instance) Advance() bool {
 	return true
 }
 
-// Truth returns the current epoch's analytic available bandwidth.
+// Truth returns the current epoch's analytic available bandwidth of
+// the first route.
 func (i *Instance) Truth() float64 {
 	a, _ := i.Scenario.TruthForEpoch(i.epoch)
 	return a
 }
 
-// TightHop returns the current epoch's tight hop index on the route.
+// TightHop returns the current epoch's tight hop index on the first
+// route.
 func (i *Instance) TightHop() int {
 	_, h := i.Scenario.TruthForEpoch(i.epoch)
 	return h
+}
+
+// RouteTruth returns the current epoch's analytic available bandwidth
+// and tight hop of route r.
+func (i *Instance) RouteTruth(r int) (avail float64, tightHop int) {
+	return i.Scenario.RouteTruth(i.epoch, r)
 }
 
 // Sim returns the instance's simulator.

@@ -161,15 +161,13 @@ func TestScenarioValidation(t *testing.T) {
 		mut  func(*Scenario)
 		want string
 	}{
-		"no epochs":     {func(s *Scenario) { s.Epochs = nil }, "no epochs"},
-		"unknown link":  {func(s *Scenario) { s.Epochs[0].Util = map[string]float64{"zzz": 0.5} }, "unknown link"},
-		"bad util":      {func(s *Scenario) { s.Epochs[0].Util = map[string]float64{"tight": 1.0} }, "outside"},
-		"flash unknown": {func(s *Scenario) { s.Epochs[0].Flash = &Flash{Link: "zzz", Peak: 1e6, RampUp: 1} }, "unknown"},
-		"flash peak":    {func(s *Scenario) { s.Epochs[0].Flash = &Flash{Link: "tight", Peak: 2 * tightCap, RampUp: 1} }, "peak"},
-		"flash ramp":    {func(s *Scenario) { s.Epochs[0].Flash = &Flash{Link: "tight", Peak: 1e6} }, "ramp-up"},
-		"second route": {func(s *Scenario) {
-			s.Spec.Routes = append(s.Spec.Routes, mesh.RouteSpec{Name: "q", Links: []string{"wide"}})
-		}, "one route"},
+		"no epochs":      {func(s *Scenario) { s.Epochs = nil }, "no epochs"},
+		"unknown link":   {func(s *Scenario) { s.Epochs[0].Util = map[string]float64{"zzz": 0.5} }, "unknown link"},
+		"bad util":       {func(s *Scenario) { s.Epochs[0].Util = map[string]float64{"tight": 1.0} }, "outside"},
+		"flash unknown":  {func(s *Scenario) { s.Epochs[0].Flash = &Flash{Link: "zzz", Peak: 1e6, RampUp: 1} }, "unknown"},
+		"flash peak":     {func(s *Scenario) { s.Epochs[0].Flash = &Flash{Link: "tight", Peak: 2 * tightCap, RampUp: 1} }, "peak"},
+		"flash ramp":     {func(s *Scenario) { s.Epochs[0].Flash = &Flash{Link: "tight", Peak: 1e6} }, "ramp-up"},
+		"no routes":      {func(s *Scenario) { s.Spec.Routes = nil }, "route"},
 		"bad mesh":       {func(s *Scenario) { s.Spec.Links[0].Capacity = 0 }, "capacity"},
 		"multi override": {func(s *Scenario) { s.Epochs = append(s.Epochs, Epoch{Util: map[string]float64{"tight": -0.1}}) }, "outside"},
 	} {
@@ -179,6 +177,20 @@ func TestScenarioValidation(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
 		}
+	}
+	// Multi-route scenarios are legal since the fleet lift: a second
+	// route builds, shows up in Paths, and carries its own truth.
+	s := base()
+	s.Spec.Routes = append(s.Spec.Routes, mesh.RouteSpec{Name: "q", Links: []string{"wide"}})
+	inst, err := s.Build(1)
+	if err != nil {
+		t.Fatalf("two-route scenario: %v", err)
+	}
+	if len(inst.Paths) != 2 || inst.Path != inst.Paths[0] {
+		t.Fatalf("two-route instance paths = %d, Path == Paths[0] is %v", len(inst.Paths), inst.Path == inst.Paths[0])
+	}
+	if a, _ := inst.RouteTruth(1); a != wideCap*(1-wideUtil) {
+		t.Errorf("route 1 truth = %v, want %v", a, wideCap*(1-wideUtil))
 	}
 	func() {
 		defer func() {

@@ -43,6 +43,11 @@ type Sequencer struct {
 	slots   []*seqSlot
 	driving bool
 
+	// round counts released fleet round barriers (EndRound); onRound,
+	// when set, fires at each barrier with exclusive simulator access.
+	round   int
+	onRound func(round int)
+
 	// nextID hands out packet IDs; guarded by the floor, not the mutex
 	// (only the goroutine holding the floor allocates).
 	nextID uint64
@@ -60,6 +65,9 @@ const (
 	seqParkedSection
 	// seqParkedAwait: setup done; waiting for its condition or deadline.
 	seqParkedAwait
+	// seqParkedRound: parked at the fleet round barrier (EndRound),
+	// waiting for every live sibling to finish its round too.
+	seqParkedRound
 	// seqRetired: the goroutine is done; never counted again.
 	seqRetired
 )
@@ -113,6 +121,59 @@ func (p *Prober) Retire() {
 	defer s.mu.Unlock()
 	p.slot.state = seqRetired
 	s.changed.Broadcast()
+}
+
+// OnRoundBoundary installs the fleet round-boundary hook: fn fires
+// inside Drive every time all live probers have parked at the EndRound
+// barrier, with round counting released barriers from 1. At that moment
+// no prober holds the floor and no await is pending, so fn has
+// exclusive simulator access — it may advance the clock (e.g. settle a
+// scenario epoch change with RunFor) or read link counters safely. It
+// must be installed before Drive.
+func (s *Sequencer) OnRoundBoundary(fn func(round int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.driving {
+		panic("simprobe: Sequencer.OnRoundBoundary after Drive started")
+	}
+	s.onRound = fn
+}
+
+// EndRound parks a sequenced prober at the fleet round barrier: the
+// call returns only when every live sibling has either called EndRound
+// too or retired, so a whole monitored fleet advances round-by-round on
+// one virtual clock. On a non-sequenced prober it is a no-op, like
+// Retire.
+func (p *Prober) EndRound() {
+	if p.slot == nil {
+		return
+	}
+	sl := p.slot
+	s := sl.seq
+	s.mu.Lock()
+	if sl.state == seqRetired {
+		s.mu.Unlock()
+		panic("simprobe: sequenced prober used after Retire")
+	}
+	sl.state = seqParkedRound
+	s.changed.Broadcast()
+	s.mu.Unlock()
+	<-sl.grant // every live sibling reached the barrier
+}
+
+// IdleUntil advances virtual time to the absolute instant t, or does
+// nothing when t has already passed. Unlike Idle's relative gap, the
+// deadline is anchored by the caller — a monitor driver anchors each
+// path's next round at its own round end, which keeps a sequenced
+// path's timeline independent of when its siblings cleared the round
+// barrier.
+func (p *Prober) IdleUntil(t netsim.Time) {
+	p.section(func(sim *netsim.Simulator) (func() bool, netsim.Time) {
+		if now := sim.Now(); t < now {
+			return nil, now
+		}
+		return nil, t
+	}, nil)
 }
 
 // nextPktID allocates a packet ID. Callers hold the floor.
@@ -186,13 +247,23 @@ func (s *Sequencer) Drive() {
 			s.grantLocked(sl)
 			continue
 		}
+		// No section or await can proceed. If every live prober sits at
+		// the round barrier, the fleet round is complete: fire the
+		// boundary hook (exclusive simulator access — nothing holds the
+		// floor, nothing awaits) and release them all.
+		if s.allParkedRound() {
+			s.releaseRoundLocked()
+			continue
+		}
 		// Everyone is waiting and nobody is ready: advance the
 		// simulator toward the nearest deadline, one event at a time so
 		// conditions are rechecked at every state change.
 		dl, ok := s.minDeadline()
 		if !ok {
-			// Unreachable: non-retired slots all sit in seqParkedAwait
-			// here, and every await carries a deadline.
+			// Unreachable: non-retired slots here sit in seqParkedAwait
+			// (every await carries a deadline) or seqParkedRound (an
+			// all-round fleet was released above, and a mixed fleet has
+			// some await to advance toward).
 			s.mu.Unlock()
 			panic("simprobe: sequencer stalled with no deadlines")
 		}
@@ -213,6 +284,55 @@ func (s *Sequencer) grantLocked(sl *seqSlot) {
 	s.mu.Unlock()
 	sl.grant <- struct{}{}
 	s.mu.Lock()
+}
+
+// allParkedRound reports whether at least one live prober exists and
+// every live prober is parked at the round barrier.
+func (s *Sequencer) allParkedRound() bool {
+	live := 0
+	for _, sl := range s.slots {
+		switch sl.state {
+		case seqRetired:
+		case seqParkedRound:
+			live++
+		default:
+			return false
+		}
+	}
+	return live > 0
+}
+
+// releaseRoundLocked fires the round-boundary hook and releases every
+// barrier-parked prober. Like grantLocked, the hook call and the grant
+// sends happen outside the mutex; the probers cannot touch the
+// simulator until their grants arrive, so the hook's simulator access
+// is exclusive.
+func (s *Sequencer) releaseRoundLocked() {
+	s.round++
+	round := s.round
+	hook := s.onRound
+	var waiting []*seqSlot
+	for _, sl := range s.slots {
+		if sl.state == seqParkedRound {
+			sl.state = seqRunning
+			waiting = append(waiting, sl)
+		}
+	}
+	s.mu.Unlock()
+	if hook != nil {
+		hook(round)
+	}
+	for _, sl := range waiting {
+		sl.grant <- struct{}{}
+	}
+	s.mu.Lock()
+}
+
+// Round returns the number of fleet round barriers released so far.
+func (s *Sequencer) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
 }
 
 // anyRunning reports whether some live prober holds or may take the

@@ -109,6 +109,41 @@ func (st *Store) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+
+	// Per-link families (mesh fleets only): the shared backbone's own
+	// utilization, so a scrape shows which common hop a fleet loads.
+	type linkRow struct {
+		name  string
+		total uint64
+		last  LinkPoint
+	}
+	var lrows []linkRow
+	for _, l := range st.Links() {
+		last, ok := st.LinkLast(l)
+		if !ok {
+			continue
+		}
+		lrows = append(lrows, linkRow{name: l, total: st.LinkTotal(l), last: last})
+	}
+	linkFamily := func(name, help, typ string, value func(linkRow) float64) {
+		if len(lrows) == 0 {
+			return
+		}
+		emit("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, r := range lrows {
+			emit("%s{link=%q} %s\n", name, r.name, formatFloat(value(r)))
+		}
+	}
+	linkFamily("pathload_link_windows_total", "Utilization windows ever observed per mesh link.", "counter",
+		func(r linkRow) float64 { return float64(r.total) })
+	linkFamily("pathload_link_capacity_bps", "Mesh link capacity, bits/s.", "gauge",
+		func(r linkRow) float64 { return r.last.Capacity })
+	linkFamily("pathload_link_utilization", "Latest windowed mean utilization of the mesh link.", "gauge",
+		func(r linkRow) float64 { return r.last.Util })
+	linkFamily("pathload_link_load_bps", "Latest windowed mean carried load of the mesh link, bits/s.", "gauge",
+		func(r linkRow) float64 { return r.last.Load() })
+	linkFamily("pathload_link_availbw_bps", "Latest windowed spare capacity C*(1-u) of the mesh link, bits/s.", "gauge",
+		func(r linkRow) float64 { return r.last.AvailBw() })
 	return err
 }
 
@@ -201,11 +236,17 @@ func (st *Store) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "pathload time-series store: %d paths\n\n", len(st.Paths()))
-		fmt.Fprintf(w, "endpoints:\n  /metrics          Prometheus exposition\n  /series[?path=p]  JSON series\n  /mrtg?path=p      MRTG-style buckets (&step= Mb/s)\n\npaths:\n")
+		fmt.Fprintf(w, "pathload time-series store: %d paths, %d links\n\n", len(st.Paths()), len(st.Links()))
+		fmt.Fprintf(w, "endpoints:\n  /metrics          Prometheus exposition\n  /series[?path=p]  JSON series\n  /mrtg?path=p      MRTG-style buckets (&step= Mb/s)\n  /mrtg?link=l      per-link utilization buckets (mesh fleets)\n\npaths:\n")
 		for _, id := range st.Paths() {
 			total, errs := st.Totals(id)
 			fmt.Fprintf(w, "  %-12s %d samples (%d errors), %d retained\n", id, total, errs, st.Len(id))
+		}
+		if links := st.Links(); len(links) > 0 {
+			fmt.Fprintf(w, "\nlinks:\n")
+			for _, l := range links {
+				fmt.Fprintf(w, "  %-12s %d windows, %d retained\n", l, st.LinkTotal(l), st.LinkLen(l))
+			}
 		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -232,12 +273,19 @@ func (st *Store) Handler() http.Handler {
 	})
 	mux.HandleFunc("/mrtg", func(w http.ResponseWriter, r *http.Request) {
 		p := r.URL.Query().Get("path")
-		if p == "" {
-			http.Error(w, "missing ?path=", http.StatusBadRequest)
+		l := r.URL.Query().Get("link")
+		switch {
+		case p == "" && l == "":
+			http.Error(w, "missing ?path= or ?link=", http.StatusBadRequest)
 			return
-		}
-		if st.Len(p) == 0 {
+		case p != "" && l != "":
+			http.Error(w, "pick one of ?path= or ?link=", http.StatusBadRequest)
+			return
+		case p != "" && st.Len(p) == 0:
 			http.Error(w, fmt.Sprintf("unknown path %q", p), http.StatusNotFound)
+			return
+		case l != "" && st.LinkLen(l) == 0:
+			http.Error(w, fmt.Sprintf("unknown link %q", l), http.StatusNotFound)
 			return
 		}
 		step := 0.0
@@ -250,6 +298,10 @@ func (st *Store) Handler() http.Handler {
 			step = v * 1e6
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if l != "" {
+			st.WriteLinkMRTG(w, l, step)
+			return
+		}
 		st.WriteMRTG(w, p, step)
 	})
 	return mux

@@ -128,6 +128,7 @@ type Store struct {
 
 	mu     sync.RWMutex
 	series map[string]*series
+	links  map[string]*linkSeries
 }
 
 // New creates an empty store. It panics on a negative Capacity or
@@ -143,7 +144,7 @@ func New(cfg Config) *Store {
 	if cfg.DigestSize == 0 {
 		cfg.DigestSize = DefaultDigestSize
 	}
-	return &Store{cfg: cfg, series: map[string]*series{}}
+	return &Store{cfg: cfg, series: map[string]*series{}, links: map[string]*linkSeries{}}
 }
 
 // Observe records one monitor sample into the path's ring. It

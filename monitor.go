@@ -16,6 +16,68 @@ const (
 	DefaultMonitorWorkers = 4
 )
 
+// A Driver owns a monitor's notion of time and session lifecycle: how
+// sessions wait out their re-measurement gaps, where they announce
+// round boundaries and end-of-life, and who advances the clock. The
+// default (nil Driver) is wall time — gaps pass through the prober's
+// own Idle, round boundaries and retirement are no-ops — which is
+// byte-identical to the monitor's original loop. A sequenced driver
+// (internal/simprobe.SequencedDriver) instead parks every session at a
+// fleet round barrier and spends gaps in virtual time, so a whole
+// monitored fleet over one shared simulation advances on one virtual
+// clock with a scheduling-independent interleave.
+//
+// Call ordering per session, all from that session's goroutine:
+// RoundEnd after each published non-final round, then Gap (live
+// prober) or Sleep (no prober) for the scheduler's gap, and Retire
+// exactly once when the session ends — whatever the cause. Drive is
+// called once by the monitor, on its own goroutine, at Start.
+type Driver interface {
+	// RoundEnd announces that path finished round and will schedule
+	// another. A barrier-based driver blocks here until every live
+	// session has also finished its round.
+	RoundEnd(path string, round int)
+	// Gap spends the scheduler's re-measurement gap for path, whose
+	// live prober is p. An error ends or heals the session exactly as a
+	// failed Prober.Idle does.
+	Gap(path string, p Prober, gap time.Duration) error
+	// Sleep waits d for a session with no live prober (reconnect
+	// backoff, gaps while the transport is down), reporting false when
+	// stop closes first.
+	Sleep(d time.Duration, stop <-chan struct{}) bool
+	// Retire announces path's end-of-life so the driver stops waiting
+	// on it. It must be safe to call whether or not the session ever
+	// reached RoundEnd.
+	Retire(path string)
+	// Drive runs the driver's loop, returning when every session has
+	// retired.
+	Drive()
+}
+
+// wallDriver is the nil-Driver default: wall-clock time, no barriers.
+// Its behavior is exactly the monitor's original loop, so legacy
+// wall-clock runs stay byte-identical.
+type wallDriver struct{}
+
+func (wallDriver) RoundEnd(string, int) {}
+
+func (wallDriver) Gap(_ string, p Prober, gap time.Duration) error { return p.Idle(gap) }
+
+func (wallDriver) Sleep(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+func (wallDriver) Retire(string) {}
+
+func (wallDriver) Drive() {}
+
 // MonitorConfig tunes a Monitor. The zero value is usable: it measures
 // every path back-to-back (no re-measurement gap) with the paper's
 // measurement defaults until Stop is called.
@@ -69,6 +131,14 @@ type MonitorConfig struct {
 	// defaults documented on the Reconnect type; it is ignored for
 	// paths added with AddPath.
 	Reconnect Reconnect
+	// Driver, when non-nil, takes over time and session lifecycle (see
+	// the Driver interface). Setting it restricts the monitor to
+	// AddPath sessions with nil Admission: factory healing needs wall
+	// time, and an admission policy that blocks a session would stall a
+	// barrier-based driver's fleet round. The monitor then admits all
+	// sessions unconditionally — interleave control is the driver's
+	// job. nil keeps the original wall-clock loop.
+	Driver Driver
 }
 
 // A ProberFactory dials a fresh Prober for one path. The monitor calls
@@ -264,6 +334,7 @@ type Monitor struct {
 	results  chan Sample
 	sched    schedule.Scheduler
 	adm      schedule.Admission
+	drv      Driver
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -363,6 +434,16 @@ func (m *Monitor) Start() error {
 	if len(m.sessions) == 0 {
 		return fmt.Errorf("pathload: monitor has no paths")
 	}
+	if m.cfg.Driver != nil {
+		for _, s := range m.sessions {
+			if s.factory != nil {
+				return fmt.Errorf("pathload: monitor Driver cannot run factory-backed path %q: redial healing needs wall time (use AddPath with a prober the driver owns)", s.id)
+			}
+		}
+		if m.cfg.Admission != nil {
+			return fmt.Errorf("pathload: monitor Driver is incompatible with an Admission policy: a session blocked in admission would stall the driver's fleet round")
+		}
+	}
 	m.started = true
 	m.cfg = m.cfg.withDefaults(len(m.sessions))
 	m.results = make(chan Sample, m.cfg.Buffer)
@@ -383,6 +464,15 @@ func (m *Monitor) Start() error {
 	m.adm = m.cfg.Admission
 	if m.adm == nil {
 		m.adm = schedule.NewWorkers(m.cfg.Workers)
+	}
+	m.drv = m.cfg.Driver
+	if m.drv == nil {
+		m.drv = wallDriver{}
+	} else {
+		// The driver owns the interleave: every session is admitted
+		// unconditionally so none can stall the fleet round barrier.
+		m.adm = schedule.NewWorkers(len(m.sessions))
+		go m.drv.Drive()
 	}
 	vars, _ := m.cfg.Store.(schedule.VarSource)
 	for _, s := range m.sessions {
@@ -445,18 +535,12 @@ func (m *Monitor) publish(sample Sample) bool {
 	}
 }
 
-// sleep waits wall time d, reporting false when Stop interrupts. It is
-// how sessions wait without a live prober: reconnect backoffs, and
-// re-measurement gaps while the transport is down.
+// sleep waits out d through the driver (wall time by default),
+// reporting false when Stop interrupts. It is how sessions wait
+// without a live prober: reconnect backoffs, and re-measurement gaps
+// while the transport is down.
 func (m *Monitor) sleep(d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-m.stop:
-		return false
-	}
+	return m.drv.Sleep(d, m.stop)
 }
 
 // redial restores a factory-backed session's prober, backing off
@@ -525,6 +609,7 @@ func (m *Monitor) redial(s *session, at *time.Duration) error {
 func (m *Monitor) run(s *session) {
 	defer m.wg.Done()
 	defer s.closeProber()
+	defer m.drv.Retire(s.id)
 	start := s.resume.Round
 	at := s.resume.At
 	for round := start; m.cfg.Rounds == 0 || round < start+m.cfg.Rounds; round++ {
@@ -561,6 +646,11 @@ func (m *Monitor) run(s *session) {
 		if m.cfg.Rounds != 0 && round == start+m.cfg.Rounds-1 {
 			return
 		}
+		// The fleet round boundary: a barrier-based driver parks here
+		// until every live sibling has finished its round too. The stop
+		// check comes after, so Stop during the barrier is seen as soon
+		// as the barrier releases.
+		m.drv.RoundEnd(s.id, round)
 		select {
 		case <-m.stop:
 			return
@@ -580,7 +670,7 @@ func (m *Monitor) run(s *session) {
 				at += gap
 				continue
 			}
-			if err := s.prober.Idle(gap); err != nil {
+			if err := m.drv.Gap(s.id, s.prober, gap); err != nil {
 				idleErr := Sample{Path: s.id, Round: round + 1, At: at, Wall: time.Now(), Err: fmt.Errorf("pathload: idle: %w", err)}
 				delivered := m.publish(idleErr)
 				if s.factory == nil {
