@@ -1,0 +1,68 @@
+package main
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestParseConflicts pins the hand-written grammar: groups by ';',
+// members by ','; every pair within a group conflicts.
+func TestParseConflicts(t *testing.T) {
+	adj := parseConflicts("a,b;c,d,e")
+	want := map[string][]string{
+		"a": {"b"}, "b": {"a"},
+		"c": {"d", "e"}, "d": {"c", "e"}, "e": {"c", "d"},
+	}
+	for k := range adj {
+		sort.Strings(adj[k])
+	}
+	if !reflect.DeepEqual(adj, want) {
+		t.Errorf("parseConflicts = %v, want %v", adj, want)
+	}
+	if got := parseConflicts(""); got != nil {
+		t.Errorf("parseConflicts(\"\") = %v, want nil", got)
+	}
+}
+
+// TestConflictsFromMesh derives adjacency from the canonical shapes and
+// checks the shape-to-user path translation.
+func TestConflictsFromMesh(t *testing.T) {
+	paths := []string{"pA", "pB", "pC", "pD"}
+
+	// Disjoint: no path shares any link; no adjacency at all.
+	adj, err := conflictsFromMesh("disjoint", paths, 1)
+	if err != nil {
+		t.Fatalf("disjoint: %v", err)
+	}
+	if adj != nil {
+		t.Errorf("disjoint adjacency = %v, want nil (no shared links)", adj)
+	}
+
+	// Tree: the root link is tight for everyone, so the adjacency is
+	// complete — and expressed in the user's identifiers, not path-0N.
+	adj, err = conflictsFromMesh("tree", paths, 1)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	if len(adj) != len(paths) {
+		t.Fatalf("tree adjacency covers %d paths, want %d: %v", len(adj), len(paths), adj)
+	}
+	for p, members := range adj {
+		if !strings.HasPrefix(p, "p") || len(p) != 2 {
+			t.Errorf("tree: adjacency key %q not translated to a user path id", p)
+		}
+		if len(members) != len(paths)-1 {
+			t.Errorf("tree: %s conflicts with %v, want all %d others", p, members, len(paths)-1)
+		}
+		if !sort.StringsAreSorted(members) {
+			t.Errorf("tree: members of %s not sorted: %v", p, members)
+		}
+	}
+
+	// Unknown shape errors and names the valid set.
+	if _, err := conflictsFromMesh("pretzel", paths, 1); err == nil || !strings.Contains(err.Error(), "star") {
+		t.Errorf("unknown shape: err = %v, want mention of valid shapes", err)
+	}
+}

@@ -24,9 +24,11 @@ import (
 type agentOpts struct {
 	coord     string // coordinator control address
 	name      string
+	secret    string // shared auth secret; "" = unauthenticated
 	heartbeat time.Duration
 	push      time.Duration
 	export    string // optional local scrape address
+	archive   string // optional durable store spec (-archive)
 	interval  time.Duration
 	jitter    float64
 	workers   int
@@ -97,12 +99,24 @@ func runAgent(o agentOpts) {
 		}
 		name = h
 	}
+	// With -archive the agent's local store is durable: a restarted
+	// agent recovers its series and the monitor resumes each leased
+	// path's rounds (the agent's reconcile path already resumes from
+	// the store it is handed).
+	store, closeStore, err := openMonitorStore(o.archive)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: -archive: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeStore()
 	agent, err := coord.NewAgent(coord.AgentConfig{
-		Coord:     o.coord,
-		Name:      name,
-		Provider:  agentProvider,
-		Heartbeat: o.heartbeat,
-		PushEvery: o.push,
+		Coord:      o.coord,
+		Name:       name,
+		Secret:     o.secret,
+		LocalStore: store,
+		Provider:   agentProvider,
+		Heartbeat:  o.heartbeat,
+		PushEvery:  o.push,
 		Monitor: pathload.MonitorConfig{
 			Workers:   o.workers,
 			Interval:  o.interval,
@@ -141,6 +155,7 @@ func runAgent(o agentOpts) {
 		agent.Stop()
 	}()
 	if err := agent.Run(); err != nil {
+		closeStore() // os.Exit skips defers; the archive still holds the WAL tail
 		fmt.Fprintf(os.Stderr, "pathload: agent: %v\n", err)
 		os.Exit(1)
 	}

@@ -81,6 +81,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/crosstraffic"
 	"repro/internal/experiments"
 	"repro/internal/mesh"
@@ -128,6 +129,9 @@ func main() {
 		agentName = flag.String("agent-name", "", "agent: fleet-unique agent name (default the hostname)")
 		heartbeat = flag.Duration("heartbeat", 0, "agent: heartbeat cadence (0 derives min(TTL/3, epoch) from the coordinator)")
 		pushEvery = flag.Duration("push", 0, "agent: contribution push cadence (0 pushes on every heartbeat)")
+		secret    = flag.String("secret", "", "agent: shared authentication secret (required when the coordinator runs with -secret)")
+
+		archiveSpec = flag.String("archive", "", "monitor/agent: durable measurement archive dir[:seal=<bytes>[k|m]][,sync]; series recover and resume across restarts (inspect with pathload-archive)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
@@ -151,10 +155,10 @@ func main() {
 
 	if *agentAddr != "" {
 		runAgent(agentOpts{
-			coord: *agentAddr, name: *agentName,
+			coord: *agentAddr, name: *agentName, secret: *secret,
 			heartbeat: *heartbeat, push: *pushEvery, export: *export,
 			interval: *interval, jitter: *jitter, workers: *workers,
-			seed: *seed, backoff: *backoff,
+			seed: *seed, backoff: *backoff, archive: *archiveSpec,
 			measure: pathload.Config{
 				PacketsPerStream: *k,
 				StreamsPerFleet:  *n,
@@ -165,12 +169,17 @@ func main() {
 		return
 	}
 
+	if !*monitor && *archiveSpec != "" {
+		fmt.Fprintln(os.Stderr, "pathload: -archive persists a monitored or agent store; it needs -monitor or -agent")
+		os.Exit(2)
+	}
+
 	if *monitor {
 		if *rounds < 1 {
 			fmt.Fprintln(os.Stderr, "pathload: -monitor needs -rounds ≥ 1")
 			os.Exit(2)
 		}
-		if err := validateFlagMatrix(*scen, *meshName, *senders, *schedName, *budget, *stagger); err != nil {
+		if err := validateFlagMatrix(*scen, *meshName, *senders, *schedName, *budget, *stagger, *archiveSpec); err != nil {
 			fmt.Fprintf(os.Stderr, "pathload: %v\n", err)
 			os.Exit(2)
 		}
@@ -184,7 +193,7 @@ func main() {
 			return
 		}
 		runMonitor(monitorOpts{
-			paths: *paths, rounds: *rounds, workers: *workers,
+			paths: *paths, rounds: *rounds, workers: *workers, archive: *archiveSpec,
 			interval: *interval, jitter: *jitter, export: *export, mesh: *meshName,
 			schedule: *schedName, budget: *budget * 1e6, stagger: *stagger,
 			senders: splitSenders(*senders), backoff: *backoff,
@@ -266,14 +275,21 @@ Monitor-mode flag matrix (with -monitor):
                    non-fixed -schedule and -budget (a single path has no fleet
                    to schedule); fleet-wide scenarios live in
                    ` + "`repro -fig fleetscenarios`" + `
+  -archive spec    durable store under every mode above except -scenario
+                   (which grades against analytic truth and keeps no store):
+                   samples write through to a WAL + hash-chained segments, and
+                   a restarted monitor recovers the series and resumes rounds
+                   where they stopped; inspect with ` + "`pathload-archive`" + `
 `
 
 // validateFlagMatrix rejects contradictory -monitor mode combinations
 // up front, each error naming the remedy, so a bad invocation fails
 // loudly instead of silently ignoring a flag. The accepted matrix is
 // the one -h prints (flagMatrix).
-func validateFlagMatrix(scen, meshName, senders, schedName string, budget float64, stagger bool) error {
+func validateFlagMatrix(scen, meshName, senders, schedName string, budget float64, stagger bool, archiveSpec string) error {
 	switch {
+	case scen != "" && archiveSpec != "":
+		return fmt.Errorf("-scenario grades rounds against analytic epoch truth and keeps no store; it excludes -archive (drop one)")
 	case scen != "" && meshName != "":
 		return fmt.Errorf("-scenario measures one composed path; it excludes -mesh (drop one; fleet-wide scenarios live in `repro -fig fleetscenarios`)")
 	case scen != "" && senders != "":
@@ -358,6 +374,7 @@ type monitorOpts struct {
 	interval               time.Duration
 	jitter                 float64
 	export                 string
+	archive                string
 	mesh                   string
 	schedule               string
 	budget                 float64 // bits/s aggregate, 0 = uncapped
@@ -419,7 +436,12 @@ func (o monitorOpts) scheduler() (schedule.Scheduler, error) {
 // tsstore.Store; with -export the store is served over HTTP and the
 // process stays up for scraping after the fleet finishes.
 func runMonitor(o monitorOpts) {
-	store := tsstore.New(tsstore.Config{})
+	store, closeStore, err := openMonitorStore(o.archive)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathload: -archive: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeStore()
 	var exportURL string
 	if o.export != "" {
 		ln, err := net.Listen("tcp", o.export)
@@ -505,6 +527,35 @@ func runMonitor(o monitorOpts) {
 	}
 }
 
+// openMonitorStore builds the fleet's store: purely in-memory by
+// default, or recovered from (and writing through to) a durable
+// archive when -archive names one. The recovery report prints so an
+// operator sees exactly what a restart recovered — and what a crash
+// cost.
+func openMonitorStore(spec string) (*tsstore.Store, func(), error) {
+	if spec == "" {
+		return tsstore.New(tsstore.Config{}), func() {}, nil
+	}
+	dir, opt, err := archive.ParseSpec(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, backend, rep, err := archive.OpenStore(dir, opt, tsstore.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("archive: %s — %s\n", dir, rep.String())
+	closer := func() {
+		if err := backend.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pathload: archive close: %v\n", err)
+		}
+		if n, last := store.BackendErrs(); n > 0 {
+			fmt.Fprintf(os.Stderr, "pathload: archive dropped %d writes (last: %v)\n", n, last)
+		}
+	}
+	return store, closer, nil
+}
+
 // buildFleet constructs the monitored fleet: either independent
 // single-hop simulator shards (the default) or, with -mesh, routes over
 // one shared-backbone simulator whose probe streams contend on common
@@ -524,6 +575,15 @@ func buildFleet(o monitorOpts, store *tsstore.Store) (*pathload.Monitor, map[str
 		Config:    o.measure,
 		Store:     store,
 		Scheduler: sched,
+	}
+	if o.archive != "" {
+		// The archive recovered prior series into the store; resume each
+		// path's round counter and clock from them instead of rewinding
+		// to round 0.
+		cfg.Resume = func(path string) pathload.PathState {
+			round, at := tsstore.Resume(store, path)
+			return pathload.PathState{Round: round, At: at}
+		}
 	}
 	if o.schedule != "" && o.schedule != "fixed" || o.budget > 0 {
 		fmt.Printf("schedule: %s", o.schedule)

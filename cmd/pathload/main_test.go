@@ -13,6 +13,7 @@ func TestValidateFlagMatrix(t *testing.T) {
 		scen, mesh, senders, sched string
 		budget                     float64
 		stagger                    bool
+		archive                    string
 	}
 	reject := map[string]struct {
 		c    combo
@@ -23,13 +24,14 @@ func TestValidateFlagMatrix(t *testing.T) {
 		"scenario+stagger":    {combo{scen: "lossy", stagger: true}, "-stagger"},
 		"scenario+adaptive":   {combo{scen: "lossy", sched: "adaptive"}, "-schedule"},
 		"scenario+budget":     {combo{scen: "lossy", budget: 1e6}, "-budget"},
+		"scenario+archive":    {combo{scen: "lossy", archive: "d"}, "excludes -archive"},
 		"senders+mesh":        {combo{senders: "a:1", mesh: "star"}, "excludes -mesh"},
 		"senders+stagger":     {combo{senders: "a:1", stagger: true}, "needs -mesh"},
 		"stagger alone":       {combo{stagger: true}, "needs -mesh"},
 		"budgeted, no budget": {combo{sched: "budgeted"}, "needs -budget"},
 	}
 	for name, tc := range reject {
-		err := validateFlagMatrix(tc.c.scen, tc.c.mesh, tc.c.senders, tc.c.sched, tc.c.budget, tc.c.stagger)
+		err := validateFlagMatrix(tc.c.scen, tc.c.mesh, tc.c.senders, tc.c.sched, tc.c.budget, tc.c.stagger, tc.c.archive)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
 		}
@@ -42,9 +44,13 @@ func TestValidateFlagMatrix(t *testing.T) {
 		"mesh+budgeted":     {mesh: "star", sched: "budgeted", budget: 2e6},
 		"senders+adaptive":  {senders: "a:1,b:2", sched: "adaptive"},
 		"fleet budget wrap": {budget: 2e6},
+		"archive":           {archive: "data/arch:seal=1m"},
+		"mesh+archive":      {mesh: "star", archive: "data/arch"},
+		"senders+archive":   {senders: "a:1", archive: "data/arch"},
+		"archive+budget":    {archive: "data/arch", budget: 2e6},
 	}
 	for name, c := range accept {
-		if err := validateFlagMatrix(c.scen, c.mesh, c.senders, c.sched, c.budget, c.stagger); err != nil {
+		if err := validateFlagMatrix(c.scen, c.mesh, c.senders, c.sched, c.budget, c.stagger, c.archive); err != nil {
 			t.Errorf("%s: unexpected error %v", name, err)
 		}
 	}

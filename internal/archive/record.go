@@ -1,0 +1,122 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// A Record is one appended archive entry: an opaque payload under a
+// small routing header. The archive core does not interpret Kind, Key,
+// or Data — the tsstore adapter (KindPoint, KindLink) and the
+// coordinator's persistence log define their own kinds over the same
+// framing, so one directory can hold a mixed durability stream.
+type Record struct {
+	// Kind routes the record to its decoder. Kinds 0x01–0x1f are
+	// reserved for the tsstore adapter, 0x20–0x2f for the coordinator.
+	Kind uint8
+	// Key scopes the record (a path, link, or agent name); at most
+	// MaxKey bytes.
+	Key string
+	// Data is the payload; at most MaxData bytes.
+	Data []byte
+}
+
+const (
+	// recMagic opens every record frame; a scan landing on anything
+	// else is off the rails and stops.
+	recMagic = 0xA5
+	// recOverhead is the framing cost per record: magic, kind, key
+	// length (u16), data length (u32), trailing CRC-32 (u32).
+	recOverhead = 1 + 1 + 2 + 4 + 4
+	// MaxKey bounds Record.Key (the u16 length field's range).
+	MaxKey = 1<<16 - 1
+	// MaxData bounds Record.Data. The bound exists so a corrupt length
+	// field reads as corruption, not as a 4 GiB allocation.
+	MaxData = 4 << 20
+)
+
+// errShortRecord means the buffer ends mid-record: a torn tail, the
+// expected artifact of a crash during append.
+var errShortRecord = errors.New("archive: truncated record")
+
+// errCorruptRecord means the bytes at the cursor are not a valid
+// record: bad magic, an impossible length, or a CRC mismatch.
+var errCorruptRecord = errors.New("archive: corrupt record")
+
+// appendRecord appends r's frame to buf:
+//
+//	magic u8 | kind u8 | keyLen u16 | dataLen u32 | key | data | crc u32
+//
+// (big-endian lengths; the CRC-32 (IEEE) covers everything before it).
+func appendRecord(buf []byte, r Record) ([]byte, error) {
+	if len(r.Key) > MaxKey {
+		return buf, fmt.Errorf("archive: record key %d bytes exceeds %d", len(r.Key), MaxKey)
+	}
+	if len(r.Data) > MaxData {
+		return buf, fmt.Errorf("archive: record data %d bytes exceeds %d", len(r.Data), MaxData)
+	}
+	start := len(buf)
+	buf = append(buf, recMagic, r.Kind)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Key)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Data)))
+	buf = append(buf, r.Key...)
+	buf = append(buf, r.Data...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+	return buf, nil
+}
+
+// readRecord decodes the record at the head of b, returning it and the
+// number of bytes consumed. errShortRecord means b ends mid-record;
+// errCorruptRecord means the bytes are not a record at all.
+func readRecord(b []byte) (Record, int, error) {
+	if len(b) < 8 {
+		return Record{}, 0, errShortRecord
+	}
+	if b[0] != recMagic {
+		return Record{}, 0, errCorruptRecord
+	}
+	keyLen := int(binary.BigEndian.Uint16(b[2:4]))
+	dataLen := int(binary.BigEndian.Uint32(b[4:8]))
+	if dataLen > MaxData {
+		return Record{}, 0, errCorruptRecord
+	}
+	total := 8 + keyLen + dataLen + 4
+	if len(b) < total {
+		return Record{}, 0, errShortRecord
+	}
+	sum := binary.BigEndian.Uint32(b[total-4 : total])
+	if crc32.ChecksumIEEE(b[:total-4]) != sum {
+		return Record{}, 0, errCorruptRecord
+	}
+	r := Record{
+		Kind: b[1],
+		Key:  string(b[8 : 8+keyLen]),
+		Data: append([]byte(nil), b[8+keyLen:total-4]...),
+	}
+	return r, total, nil
+}
+
+// scanRecords walks every whole record in b, calling fn for each. It
+// returns the byte offset of the first defect (== len(b) on a clean
+// scan), the number of records delivered, and the defect itself —
+// errShortRecord for a torn tail, errCorruptRecord for garbage, or an
+// error from fn (which stops the scan without consuming the record).
+func scanRecords(b []byte, fn func(Record) error) (consumed, n int, err error) {
+	off := 0
+	for off < len(b) {
+		rec, sz, err := readRecord(b[off:])
+		if err != nil {
+			return off, n, err
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, n, err
+			}
+		}
+		off += sz
+		n++
+	}
+	return off, n, nil
+}

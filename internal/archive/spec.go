@@ -1,0 +1,55 @@
+package archive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the CLI archive spec shared by `pathload -archive`
+// and `pathload-coord -archive`:
+//
+//	dir[:opt[,opt...]]
+//
+// with options
+//
+//	seal=<bytes>[k|m]  WAL size that triggers an automatic seal
+//	                   (suffixes are binary: k=KiB, m=MiB)
+//	sync               fsync the WAL after every append
+//
+// e.g. "data/archive", "data/archive:seal=1m", "data/archive:seal=64k,sync".
+func ParseSpec(spec string) (dir string, opt Options, err error) {
+	dir, opts, hasOpts := strings.Cut(spec, ":")
+	if dir == "" {
+		return "", Options{}, fmt.Errorf("archive: empty directory in spec %q", spec)
+	}
+	if !hasOpts {
+		return dir, opt, nil
+	}
+	for _, o := range strings.Split(opts, ",") {
+		o = strings.TrimSpace(o)
+		switch {
+		case o == "sync":
+			opt.Sync = true
+		case strings.HasPrefix(o, "seal="):
+			v := strings.TrimPrefix(o, "seal=")
+			mult := int64(1)
+			switch {
+			case strings.HasSuffix(v, "k"), strings.HasSuffix(v, "K"):
+				mult, v = 1<<10, v[:len(v)-1]
+			case strings.HasSuffix(v, "m"), strings.HasSuffix(v, "M"):
+				mult, v = 1<<20, v[:len(v)-1]
+			}
+			n, perr := strconv.ParseInt(v, 10, 64)
+			if perr != nil || n <= 0 {
+				return "", Options{}, fmt.Errorf("archive: bad seal size %q in spec %q (want a positive byte count, optional k/m suffix)", o, spec)
+			}
+			opt.SealBytes = n * mult
+		case o == "":
+			// tolerate a trailing comma
+		default:
+			return "", Options{}, fmt.Errorf("archive: unknown option %q in spec %q (have seal=<bytes>, sync)", o, spec)
+		}
+	}
+	return dir, opt, nil
+}

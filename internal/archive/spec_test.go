@@ -1,0 +1,38 @@
+package archive
+
+import "testing"
+
+// TestParseSpec pins the CLI archive-spec grammar.
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		dir  string
+		opt  Options
+		ok   bool
+	}{
+		{"data/arch", "data/arch", Options{}, true},
+		{"data/arch:seal=1024", "data/arch", Options{SealBytes: 1024}, true},
+		{"data/arch:seal=64k", "data/arch", Options{SealBytes: 64 << 10}, true},
+		{"data/arch:seal=2M,sync", "data/arch", Options{SealBytes: 2 << 20, Sync: true}, true},
+		{"data/arch:sync", "data/arch", Options{Sync: true}, true},
+		{"", "", Options{}, false},
+		{":sync", "", Options{}, false},
+		{"d:seal=0", "", Options{}, false},
+		{"d:seal=-5", "", Options{}, false},
+		{"d:seal=abc", "", Options{}, false},
+		{"d:frob", "", Options{}, false},
+	}
+	for _, c := range cases {
+		dir, opt, err := ParseSpec(c.spec)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSpec(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if dir != c.dir || opt.SealBytes != c.opt.SealBytes || opt.Sync != c.opt.Sync {
+			t.Errorf("ParseSpec(%q) = %q, %+v; want %q, %+v", c.spec, dir, opt, c.dir, c.opt)
+		}
+	}
+}

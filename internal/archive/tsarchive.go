@@ -1,0 +1,453 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/tsstore"
+)
+
+// Record kinds of the tsstore adapter.
+const (
+	// KindPoint is one per-path sample (tsstore.Point, Wall excluded).
+	KindPoint uint8 = 0x01
+	// KindLink is one per-link utilization window (tsstore.LinkPoint).
+	KindLink uint8 = 0x02
+)
+
+const (
+	ckptMagic   = 0x5453434b // "TSCK"
+	ckptVersion = 1
+)
+
+// A StoreBackend adapts an Archive to tsstore.Backend: every sample
+// and link window the store ingests becomes one WAL record. It also
+// maintains the checkpoint shadow — per-path all-time totals, error
+// counts, and mergeable digests, plus per-link window counts — updated
+// record-by-record under the archive lock (the OnAppend hook), so the
+// checkpoint sealed into a segment summarizes exactly the records that
+// segment and its predecessors hold, regardless of what the live store
+// ingested concurrently. Summarizing the live store instead would
+// race: a sample landing between the seal boundary and the summary
+// would be counted by the checkpoint *and* replayed from the next WAL.
+//
+// Wire up with OpenStore; the shadow state is seeded from the
+// recovered store before hooks are installed.
+type StoreBackend struct {
+	a          *Archive
+	digestSize int
+
+	// The shadow maps are touched only under the archive lock (via the
+	// OnAppend/Checkpoint hooks) after seeding.
+	paths map[string]*shadowSeries
+	links map[string]uint64
+}
+
+type shadowSeries struct {
+	total, errs uint64
+	digest      *tsstore.Digest
+}
+
+// AppendPoint implements tsstore.Backend.
+func (t *StoreBackend) AppendPoint(path string, p tsstore.Point) error {
+	return t.a.Append(Record{Kind: KindPoint, Key: path, Data: encodePoint(p)})
+}
+
+// AppendLink implements tsstore.Backend.
+func (t *StoreBackend) AppendLink(link string, p tsstore.LinkPoint) error {
+	return t.a.Append(Record{Kind: KindLink, Key: link, Data: encodeLink(p)})
+}
+
+// Close implements tsstore.Backend, closing the underlying archive.
+func (t *StoreBackend) Close() error { return t.a.Close() }
+
+// Archive returns the underlying archive (for Seal/Compact/Segments).
+func (t *StoreBackend) Archive() *Archive { return t.a }
+
+// onAppend keeps the shadow in step with the WAL; called under the
+// archive lock for every appended record.
+func (t *StoreBackend) onAppend(rec Record) {
+	switch rec.Kind {
+	case KindPoint:
+		p, err := decodePoint(rec.Data)
+		if err != nil {
+			return
+		}
+		s := t.paths[rec.Key]
+		if s == nil {
+			s = &shadowSeries{digest: tsstore.NewDigest(t.digestSize)}
+			t.paths[rec.Key] = s
+		}
+		s.total++
+		if p.OK() {
+			s.digest.Add(p.Mid())
+		} else {
+			s.errs++
+		}
+	case KindLink:
+		t.links[rec.Key]++
+	}
+}
+
+// checkpoint encodes the shadow; called under the archive lock at seal.
+func (t *StoreBackend) checkpoint() []byte {
+	b := binary.BigEndian.AppendUint32(nil, ckptMagic)
+	b = binary.BigEndian.AppendUint16(b, ckptVersion)
+	paths := make([]string, 0, len(t.paths))
+	for p := range t.paths {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(paths)))
+	for _, p := range paths {
+		s := t.paths[p]
+		b = appendCkptStr(b, p)
+		b = binary.BigEndian.AppendUint64(b, s.total)
+		b = binary.BigEndian.AppendUint64(b, s.errs)
+		blob, _ := s.digest.MarshalBinary()
+		b = binary.BigEndian.AppendUint32(b, uint32(len(blob)))
+		b = append(b, blob...)
+	}
+	links := make([]string, 0, len(t.links))
+	for l := range t.links {
+		links = append(links, l)
+	}
+	sort.Strings(links)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(links)))
+	for _, l := range links {
+		b = appendCkptStr(b, l)
+		b = binary.BigEndian.AppendUint64(b, t.links[l])
+	}
+	return b
+}
+
+// seedFrom primes the shadow from a just-recovered store, whose
+// totals/digests equal the cumulative state over every record ever
+// appended (checkpoint seed + tail replay). Must run before hooks are
+// installed.
+func (t *StoreBackend) seedFrom(st *tsstore.Store) {
+	for _, p := range st.Paths() {
+		total, errs := st.Totals(p)
+		d := st.DigestSnapshot(p)
+		if d == nil {
+			d = tsstore.NewDigest(t.digestSize)
+		}
+		t.paths[p] = &shadowSeries{total: total, errs: errs, digest: d}
+	}
+	for _, l := range st.Links() {
+		t.links[l] = st.LinkTotal(l)
+	}
+}
+
+// A StoreReport extends OpenReport with what store recovery found.
+type StoreReport struct {
+	OpenReport
+	// SealedRecords were replayed from sealed segments; the WAL tail
+	// count is OpenReport.TailRecords.
+	SealedRecords int
+	// ForeignRecords carry kinds the tsstore adapter does not decode
+	// (e.g. coordinator records sharing the directory); skipped.
+	ForeignRecords int
+	// CheckpointCorrupt means the newest segment's checkpoint failed
+	// to decode. All-time counters and digests were rebuilt by counted
+	// replay of the retained records instead — exact unless Compact
+	// has dropped segments, in which case the pre-compaction history
+	// is missing from the counters (explicitly, never silently).
+	CheckpointCorrupt bool
+}
+
+// String renders the report for operator logs.
+func (r StoreReport) String() string {
+	s := r.OpenReport.String() + fmt.Sprintf(", %d sealed records", r.SealedRecords)
+	if r.ForeignRecords > 0 {
+		s += fmt.Sprintf(", %d foreign records skipped", r.ForeignRecords)
+	}
+	if r.CheckpointCorrupt {
+		s += ", checkpoint corrupt (counters rebuilt from retained records)"
+	}
+	return s
+}
+
+// OpenStore opens the archive directory and rebuilds a tsstore.Store
+// from it, wired so further ingest is teed back into the archive:
+//
+//  1. sealed records replay ring-only (their counter and digest
+//     contribution comes from the newest checkpoint — replaying them
+//     counted would double-count),
+//  2. the newest checkpoint seeds each path's all-time totals, error
+//     counts, and digest (and each link's window count),
+//  3. the WAL tail — records no checkpoint covers — replays counted.
+//
+// With no (or a corrupt) checkpoint, everything replays counted and
+// the report says so. The returned store serves reads from memory as
+// always; Close it (or the backend) to release the archive.
+func OpenStore(dir string, opt Options, cfg tsstore.Config) (*tsstore.Store, *StoreBackend, StoreReport, error) {
+	a, orep, err := Open(dir, opt)
+	rep := StoreReport{OpenReport: orep}
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	size := cfg.DigestSize
+	if size == 0 {
+		size = tsstore.DefaultDigestSize
+	}
+	t := &StoreBackend{a: a, digestSize: size, paths: map[string]*shadowSeries{}, links: map[string]uint64{}}
+	st := tsstore.NewWithBackend(cfg, t)
+
+	ck, ckErr := decodeCheckpoint(a.Checkpoint())
+	if ckErr != nil {
+		rep.CheckpointCorrupt = true
+	}
+	counted := ck == nil
+	replay := func(r Record, counted bool) error {
+		switch r.Kind {
+		case KindPoint:
+			p, derr := decodePoint(r.Data)
+			if derr != nil {
+				return fmt.Errorf("archive: point record for %q: %w", r.Key, derr)
+			}
+			st.ReplayPoint(r.Key, p, counted)
+		case KindLink:
+			p, derr := decodeLink(r.Data)
+			if derr != nil {
+				return fmt.Errorf("archive: link record for %q: %w", r.Key, derr)
+			}
+			st.ReplayLink(r.Key, p, counted)
+		default:
+			rep.ForeignRecords++
+		}
+		return nil
+	}
+	if err := a.ReplaySealed(func(r Record) error { rep.SealedRecords++; return replay(r, counted) }); err != nil {
+		a.Close()
+		return nil, nil, rep, err
+	}
+	rep.SealedRecords -= rep.ForeignRecords
+	if ck != nil {
+		for _, p := range ck.pathOrder {
+			s := ck.paths[p]
+			st.SeedSeries(p, s.total, s.errs, s.digest)
+		}
+		for _, l := range ck.linkOrder {
+			st.SeedLink(l, ck.links[l])
+		}
+	}
+	if err := a.ReplayTail(func(r Record) error { return replay(r, true) }); err != nil {
+		a.Close()
+		return nil, nil, rep, err
+	}
+	t.seedFrom(st)
+	a.SetHooks(t.onAppend, t.checkpoint)
+	return st, t, rep, nil
+}
+
+// decodedCkpt is a parsed checkpoint blob.
+type decodedCkpt struct {
+	pathOrder []string
+	paths     map[string]struct {
+		total, errs uint64
+		digest      *tsstore.Digest
+	}
+	linkOrder []string
+	links     map[string]uint64
+}
+
+// decodeCheckpoint parses a checkpoint blob; (nil, nil) for an empty
+// blob (no checkpoint sealed yet), an error for a corrupt one.
+func decodeCheckpoint(b []byte) (*decodedCkpt, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	d := &rdr{b: b}
+	if d.u32() != ckptMagic {
+		return nil, errors.New("archive: checkpoint has wrong magic")
+	}
+	if v := d.u16(); v != ckptVersion && d.err == nil {
+		return nil, fmt.Errorf("archive: checkpoint version %d, want %d", v, ckptVersion)
+	}
+	out := &decodedCkpt{
+		paths: map[string]struct {
+			total, errs uint64
+			digest      *tsstore.Digest
+		}{},
+		links: map[string]uint64{},
+	}
+	nPaths := int(d.u32())
+	for i := 0; i < nPaths && d.err == nil; i++ {
+		key := d.str()
+		total := d.u64()
+		errs := d.u64()
+		blob := d.bytes(int(d.u32()))
+		if d.err != nil {
+			break
+		}
+		dig, derr := tsstore.UnmarshalDigest(blob)
+		if derr != nil {
+			return nil, fmt.Errorf("archive: checkpoint digest for %q: %w", key, derr)
+		}
+		out.pathOrder = append(out.pathOrder, key)
+		out.paths[key] = struct {
+			total, errs uint64
+			digest      *tsstore.Digest
+		}{total, errs, dig}
+	}
+	nLinks := int(d.u32())
+	for i := 0; i < nLinks && d.err == nil; i++ {
+		key := d.str()
+		total := d.u64()
+		if d.err != nil {
+			break
+		}
+		out.linkOrder = append(out.linkOrder, key)
+		out.links[key] = total
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("archive: checkpoint: %w", d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("archive: checkpoint has %d trailing bytes", len(d.b))
+	}
+	return out, nil
+}
+
+// encodePoint serializes a Point for the WAL. Wall is deliberately
+// excluded, matching the coordinator wire protocol: archives must be
+// byte-reproducible under the deterministic harness, and wall clocks
+// are the one field that never is.
+func encodePoint(p tsstore.Point) []byte {
+	b := make([]byte, 0, 8*6+2+len(p.Err))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Round))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.At))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Span))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(p.Lo))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(p.Hi))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(p.Bits))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Err)))
+	return append(b, p.Err...)
+}
+
+// decodePoint is the inverse of encodePoint (Wall stays zero).
+func decodePoint(b []byte) (tsstore.Point, error) {
+	d := &rdr{b: b}
+	p := tsstore.Point{
+		Round: int(int64(d.u64())),
+		At:    time.Duration(d.u64()),
+		Span:  time.Duration(d.u64()),
+		Lo:    math.Float64frombits(d.u64()),
+		Hi:    math.Float64frombits(d.u64()),
+		Bits:  math.Float64frombits(d.u64()),
+	}
+	p.Err = string(d.bytes(int(d.u16())))
+	if d.err != nil {
+		return tsstore.Point{}, d.err
+	}
+	if len(d.b) != 0 {
+		return tsstore.Point{}, fmt.Errorf("archive: point record has %d trailing bytes", len(d.b))
+	}
+	return p, nil
+}
+
+// encodeLink serializes a LinkPoint for the WAL.
+func encodeLink(p tsstore.LinkPoint) []byte {
+	b := make([]byte, 0, 8*5)
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Round))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.At))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Span))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(p.Util))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(p.Capacity))
+	return b
+}
+
+// decodeLink is the inverse of encodeLink.
+func decodeLink(b []byte) (tsstore.LinkPoint, error) {
+	d := &rdr{b: b}
+	p := tsstore.LinkPoint{
+		Round:    int(int64(d.u64())),
+		At:       time.Duration(d.u64()),
+		Span:     time.Duration(d.u64()),
+		Util:     math.Float64frombits(d.u64()),
+		Capacity: math.Float64frombits(d.u64()),
+	}
+	if d.err != nil {
+		return tsstore.LinkPoint{}, d.err
+	}
+	if len(d.b) != 0 {
+		return tsstore.LinkPoint{}, fmt.Errorf("archive: link record has %d trailing bytes", len(d.b))
+	}
+	return p, nil
+}
+
+// DecodePointRecord decodes a KindPoint record (for cat-style tools).
+func DecodePointRecord(r Record) (path string, p tsstore.Point, err error) {
+	if r.Kind != KindPoint {
+		return "", tsstore.Point{}, fmt.Errorf("archive: record kind 0x%02x is not a point", r.Kind)
+	}
+	p, err = decodePoint(r.Data)
+	return r.Key, p, err
+}
+
+// DecodeLinkRecord decodes a KindLink record.
+func DecodeLinkRecord(r Record) (link string, p tsstore.LinkPoint, err error) {
+	if r.Kind != KindLink {
+		return "", tsstore.LinkPoint{}, fmt.Errorf("archive: record kind 0x%02x is not a link window", r.Kind)
+	}
+	p, err = decodeLink(r.Data)
+	return r.Key, p, err
+}
+
+func appendCkptStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// rdr is a bounds-checked big-endian reader; after the first failure
+// every read returns zero and err is set.
+type rdr struct {
+	b   []byte
+	err error
+}
+
+func (d *rdr) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b) < n {
+		d.err = errors.New("short buffer")
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *rdr) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *rdr) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *rdr) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *rdr) bytes(n int) []byte { return append([]byte(nil), d.take(n)...) }
+
+func (d *rdr) str() string { return string(d.take(int(d.u16()))) }

@@ -1,0 +1,306 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	pathload "repro"
+	"repro/internal/tsstore"
+)
+
+// sample fabricates a deterministic monitor sample for path/round.
+func sample(path string, round int) pathload.Sample {
+	s := pathload.Sample{
+		Path:  path,
+		Round: round,
+		At:    time.Duration(round) * 100 * time.Millisecond,
+		Wall:  time.Unix(int64(round), 0), // must NOT survive the archive
+	}
+	if round%7 == 3 {
+		s.Err = errors.New("stream loss")
+		s.Result = pathload.Result{Elapsed: 40 * time.Millisecond, Bits: 5e5}
+		return s
+	}
+	s.Result = pathload.Result{
+		Lo:      40e6 + float64(round)*1e5,
+		Hi:      48e6 + float64(round)*1e5,
+		Elapsed: 60 * time.Millisecond,
+		Bits:    1e6,
+	}
+	return s
+}
+
+// feed pushes rounds [from, to) for each path into st, plus one link
+// window per round.
+func feed(st *tsstore.Store, paths []string, from, to int) {
+	for r := from; r < to; r++ {
+		for _, p := range paths {
+			st.Observe(sample(p, r))
+		}
+		st.ObserveLink("core-link", r, time.Duration(r)*100*time.Millisecond, 100*time.Millisecond, 0.5, 100e6)
+	}
+}
+
+// prom renders the store's Prometheus exposition — the deterministic
+// whole-store view used to compare recovered and control stores.
+func prom(t *testing.T, st *tsstore.Store) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := st.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+// openStoreT wraps OpenStore with a scripted clock.
+func openStoreT(t *testing.T, dir string, opt Options, cfg tsstore.Config) (*tsstore.Store, *StoreBackend, StoreReport) {
+	t.Helper()
+	if opt.NowUnix == nil {
+		clock := int64(2000)
+		opt.NowUnix = func() int64 { clock++; return clock }
+	}
+	st, be, rep, err := OpenStore(dir, opt, cfg)
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", dir, err)
+	}
+	return st, be, rep
+}
+
+var testPaths = []string{"path-00", "path-01"}
+
+// TestOpenStoreRoundtrip pins the core recovery contract: a store
+// rebuilt from its archive renders byte-identically to a control store
+// fed the same samples live (minus Wall, which the archive
+// deliberately does not persist).
+func TestOpenStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	st, be, rep := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 64})
+	if rep.Segments != 0 || rep.TailRecords != 0 {
+		t.Fatalf("fresh archive report: %+v", rep)
+	}
+	feed(st, testPaths, 0, 10)
+	if err := be.Archive().Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	feed(st, testPaths, 10, 15) // tail records past the checkpoint
+	if n, err := st.BackendErrs(); n != 0 {
+		t.Fatalf("backend errors: %d %v", n, err)
+	}
+	want := prom(t, st)
+	wantSnap := st.Snapshot("path-00")
+	be.Close()
+
+	// Control: the same samples into a plain in-memory store, but with
+	// Wall zeroed — the archive's deliberate dropped field.
+	control := tsstore.New(tsstore.Config{Capacity: 64})
+	feed(control, testPaths, 0, 15)
+	if got := prom(t, control); got != want {
+		t.Fatalf("control store renders differently from original:\n%s\nvs\n%s", got, want)
+	}
+
+	re, be2, rep2 := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 64})
+	defer be2.Close()
+	if rep2.SealedRecords != 10*len(testPaths)+10 || rep2.TailRecords != 5*len(testPaths)+5 {
+		t.Fatalf("recovery report: %+v", rep2)
+	}
+	if rep2.CheckpointCorrupt {
+		t.Fatalf("checkpoint misreported corrupt: %+v", rep2)
+	}
+	if got := prom(t, re); got != want {
+		t.Fatalf("recovered store renders differently:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	gotSnap := re.Snapshot("path-00")
+	for i := range wantSnap {
+		w := wantSnap[i]
+		w.Wall = time.Time{} // the one field recovery must NOT invent
+		if !reflect.DeepEqual(gotSnap[i], w) {
+			t.Fatalf("point %d: got %+v want %+v", i, gotSnap[i], w)
+		}
+	}
+	// Digest state survives exactly: same quantiles.
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if g, w := re.Quantile("path-01", q), st.Quantile("path-01", q); g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+			t.Fatalf("quantile %.1f: got %g want %g", q, g, w)
+		}
+	}
+	// Link series survive.
+	if got := re.LinkTotal("core-link"); got != 15 {
+		t.Fatalf("link total = %d, want 15", got)
+	}
+	if !reflect.DeepEqual(re.LinkSnapshot("core-link"), st.LinkSnapshot("core-link")) {
+		t.Fatal("link snapshot differs after recovery")
+	}
+	// Resume state: the next round continues, not rewinds.
+	if round, at := tsstore.Resume(re, "path-00"); round != 15 || at <= 0 {
+		t.Fatalf("Resume = (%d, %v), want round 15", round, at)
+	}
+}
+
+// TestOpenStoreRingEviction pins that recovery honors ring capacity:
+// totals and digests cover all records, the ring only the newest.
+func TestOpenStoreRingEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, be, _ := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 8})
+	feed(st, testPaths[:1], 0, 20)
+	be.Close()
+	re, be2, _ := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 8})
+	defer be2.Close()
+	if got := re.Len("path-00"); got != 8 {
+		t.Fatalf("ring length = %d, want 8", got)
+	}
+	total, errs := re.Totals("path-00")
+	if total != 20 || errs != 3 { // rounds 3, 10, 17 fail (round%7==3)
+		t.Fatalf("totals = (%d, %d), want (20, 3)", total, errs)
+	}
+	last, _ := re.Last("path-00")
+	if last.Round != 19 {
+		t.Fatalf("last round = %d, want 19", last.Round)
+	}
+}
+
+// TestOpenStoreAfterCompact pins the checkpoint's reason to exist:
+// dropping old segments must not lose all-time counters or digest
+// mass, only the evicted raw points.
+func TestOpenStoreAfterCompact(t *testing.T) {
+	dir := t.TempDir()
+	st, be, _ := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 256})
+	for s := 0; s < 4; s++ {
+		feed(st, testPaths[:1], s*5, (s+1)*5)
+		if err := be.Archive().Seal(); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+	}
+	wantTotal, wantErrs := st.Totals("path-00")
+	wantMedian := st.Quantile("path-00", 0.5)
+	if _, err := be.Archive().Compact(1, 0); err != nil { // keep newest only
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := len(be.Archive().Segments()); got != 1 {
+		t.Fatalf("segments after compact: %d", got)
+	}
+	be.Close()
+
+	re, be2, rep := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 256})
+	defer be2.Close()
+	total, errs := re.Totals("path-00")
+	if total != wantTotal || errs != wantErrs {
+		t.Fatalf("post-compact totals = (%d, %d), want (%d, %d)", total, errs, wantTotal, wantErrs)
+	}
+	if got := re.Quantile("path-00", 0.5); got != wantMedian {
+		t.Fatalf("post-compact median = %g, want %g", got, wantMedian)
+	}
+	// Only the newest segment's raw points are retained.
+	if got := re.Len("path-00"); got != 5 {
+		t.Fatalf("retained points = %d, want 5 (newest segment only)", got)
+	}
+	if rep.SealedRecords != 5+20 { // 5 points + 20 link windows in seg 4
+		t.Logf("sealed records replayed: %d", rep.SealedRecords)
+	}
+}
+
+// TestOpenStoreCorruptCheckpoint: a checkpoint that fails to decode is
+// reported, and recovery falls back to counted replay of the retained
+// records — exact here because nothing was compacted.
+func TestOpenStoreCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// Build an archive whose checkpoints are garbage (a buggy or
+	// foreign producer), with otherwise valid records.
+	clock := int64(3000)
+	a, _, err := Open(dir, Options{
+		NowUnix:    func() int64 { clock++; return clock },
+		Checkpoint: func() []byte { return []byte("not a checkpoint") },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	be := &StoreBackend{a: a, digestSize: tsstore.DefaultDigestSize, paths: map[string]*shadowSeries{}, links: map[string]uint64{}}
+	st := tsstore.NewWithBackend(tsstore.Config{Capacity: 32}, be)
+	feed(st, testPaths[:1], 0, 6)
+	if err := a.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	feed(st, testPaths[:1], 6, 8)
+	wantTotal, wantErrs := st.Totals("path-00")
+	be.Close()
+
+	re, be2, rep := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 32})
+	defer be2.Close()
+	if !rep.CheckpointCorrupt {
+		t.Fatalf("corrupt checkpoint not reported: %+v", rep)
+	}
+	total, errs := re.Totals("path-00")
+	if total != wantTotal || errs != wantErrs {
+		t.Fatalf("fallback totals = (%d, %d), want (%d, %d)", total, errs, wantTotal, wantErrs)
+	}
+	if round, _ := tsstore.Resume(re, "path-00"); round != 8 {
+		t.Fatalf("resume round = %d, want 8", round)
+	}
+}
+
+// TestStoreBackendAutoSealCheckpointConsistency hammers the
+// auto-sealing archive from concurrent observers and then proves every
+// segment's checkpoint exactly summarizes its sealed records — the
+// shadow-state property that makes recovery double-count-free.
+func TestStoreBackendAutoSealCheckpointConsistency(t *testing.T) {
+	dir := t.TempDir()
+	st, be, _ := openStoreT(t, dir, Options{SealBytes: 1 << 10}, tsstore.Config{Capacity: 512})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for r := 0; r < 50; r++ {
+				st.Observe(sample(fmt.Sprintf("path-%02d", w), r))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	want := prom(t, st)
+	if n, err := st.BackendErrs(); n != 0 {
+		t.Fatalf("backend errors: %d %v", n, err)
+	}
+	if len(be.Archive().Segments()) < 2 {
+		t.Fatalf("auto-seal produced %d segments", len(be.Archive().Segments()))
+	}
+	be.Close()
+	re, be2, _ := openStoreT(t, dir, Options{}, tsstore.Config{Capacity: 512})
+	defer be2.Close()
+	if got := prom(t, re); got != want {
+		t.Fatalf("concurrent-ingest recovery diverged:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPointCodecRejectsDamage: decoders fail loudly on short or
+// padded payloads instead of inventing fields.
+func TestPointCodecRoundtripAndDamage(t *testing.T) {
+	p := tsstore.Point{Round: 42, At: time.Second, Span: 60 * time.Millisecond, Lo: 39.5e6, Hi: 44e6, Bits: 1.25e6, Err: "loss"}
+	b := encodePoint(p)
+	got, err := decodePoint(b)
+	if err != nil {
+		t.Fatalf("decodePoint: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("roundtrip: got %+v want %+v", got, p)
+	}
+	if _, err := decodePoint(b[:len(b)-1]); err == nil {
+		t.Fatal("short point accepted")
+	}
+	if _, err := decodePoint(append(b, 0)); err == nil {
+		t.Fatal("padded point accepted")
+	}
+	lp := tsstore.LinkPoint{Round: 3, At: time.Second, Span: time.Second, Util: 0.7, Capacity: 1e8}
+	lb := encodeLink(lp)
+	gotL, err := decodeLink(lb)
+	if err != nil || !reflect.DeepEqual(gotL, lp) {
+		t.Fatalf("link roundtrip: %+v %v", gotL, err)
+	}
+	if _, err := decodeLink(lb[:8]); err == nil {
+		t.Fatal("short link accepted")
+	}
+}

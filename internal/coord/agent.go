@@ -41,6 +41,17 @@ type AgentConfig struct {
 	// the coordinator carry this retained window.
 	Store tsstore.Config
 
+	// LocalStore, when non-nil, is used instead of building a fresh
+	// store from Store — the seam that lets `pathload -agent -archive`
+	// hand the agent an archive-recovered store whose series resume
+	// instead of rewinding. The agent takes ownership of writes; the
+	// caller keeps read access.
+	LocalStore *tsstore.Store
+
+	// Secret is the shared authentication secret. Required when the
+	// coordinator is configured with one; must match it.
+	Secret string
+
 	// Heartbeat overrides the heartbeat cadence; 0 derives it from the
 	// coordinator's hello-ack as min(TTL/3, Epoch).
 	Heartbeat time.Duration
@@ -97,9 +108,13 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.DialBackoff <= 0 {
 		cfg.DialBackoff = 500 * time.Millisecond
 	}
+	store := cfg.LocalStore
+	if store == nil {
+		store = tsstore.New(cfg.Store)
+	}
 	return &Agent{
 		cfg:     cfg,
-		store:   tsstore.New(cfg.Store),
+		store:   store,
 		stop:    make(chan struct{}),
 		seq:     map[string]uint64{},
 		lastTot: map[string]uint64{},
@@ -134,6 +149,12 @@ func (a *Agent) Run() error {
 		err := a.session()
 		if err == nil { // Stop closed the session cleanly
 			return nil
+		}
+		if errors.Is(err, ErrRejected) {
+			// A deliberate, versioned refusal: retrying would hammer a
+			// coordinator that already said no.
+			a.eventf("giving up: %v", err)
+			return err
 		}
 		a.eventf("control session lost: %v (retry in %v)", err, backoff)
 		t := time.NewTimer(backoff)
@@ -176,6 +197,28 @@ func (a *Agent) session() error {
 	t, payload, err := readFrame(conn)
 	if err != nil {
 		return err
+	}
+	if t == msgChallenge {
+		nonce, cerr := unmarshalChallenge(payload)
+		if cerr != nil {
+			return cerr
+		}
+		if a.cfg.Secret == "" {
+			return fmt.Errorf("%w: coordinator requires a shared secret and this agent has none", ErrRejected)
+		}
+		if err := writeFrame(conn, msgAuth, marshalAuth(authMAC(a.cfg.Secret, nonce, a.cfg.Name))); err != nil {
+			return err
+		}
+		if t, payload, err = readFrame(conn); err != nil {
+			return err
+		}
+	}
+	if t == msgError {
+		e, eerr := unmarshalError(payload)
+		if eerr != nil {
+			return eerr
+		}
+		return fmt.Errorf("%w: %s (code %d, coordinator speaks v%d)", ErrRejected, e.Text, e.Code, e.Version)
 	}
 	if t != msgHelloAck {
 		return fmt.Errorf("coord: expected hello-ack, got %v", t)

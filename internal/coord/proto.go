@@ -14,6 +14,8 @@
 package coord
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -32,15 +34,24 @@ const protoMagic uint32 = 0x534c4350
 // Version is the newest control-plane protocol version this build
 // speaks; VersionMin the oldest. Version 1 defines hello/hello-ack
 // with wire-style range negotiation, heartbeat/assign leasing, and
-// contribution push/ack.
+// contribution push/ack. Version 2 adds the authentication handshake
+// (challenge/auth) and the versioned error frame — a coordinator with
+// a shared secret configured refuses v1 dialers, everything else is
+// wire-compatible.
 const (
-	Version    uint16 = 1
+	Version    uint16 = 2
 	VersionMin uint16 = 1
 )
 
 // ErrVersionMismatch reports peers whose version ranges do not
 // intersect.
 var ErrVersionMismatch = errors.New("coord: no protocol version in common")
+
+// ErrRejected reports that the coordinator refused this agent with a
+// versioned error frame (bad credentials, rate limit, version gate).
+// Unlike a broken connection it is not retryable: the agent's Run loop
+// stops instead of hammering the control port.
+var ErrRejected = errors.New("coord: rejected by coordinator")
 
 // Negotiate picks the session version: the highest version inside both
 // the peer's advertised range and this build's — the wire.Negotiate
@@ -68,6 +79,11 @@ const (
 	msgPush                         // agent → coord: one path's Contribution
 	msgPushAck                      // coord → agent: applied / stale
 	msgBye                          // either: clean close (coord: please re-register)
+
+	// Version 2 additions.
+	msgChallenge // coord → agent: auth nonce (only when a secret is set)
+	msgAuth      // agent → coord: HMAC over nonce‖name
+	msgError     // coord → agent: versioned rejection, then close
 )
 
 // String names the message type.
@@ -87,6 +103,12 @@ func (t msgType) String() string {
 		return "push-ack"
 	case msgBye:
 		return "bye"
+	case msgChallenge:
+		return "challenge"
+	case msgAuth:
+		return "auth"
+	case msgError:
+		return "error"
 	default:
 		return fmt.Sprintf("msgType(%d)", uint8(t))
 	}
@@ -421,6 +443,80 @@ func unmarshalPushAck(b []byte) (pushAckMsg, error) {
 	d := &decoder{buf: b}
 	a := pushAckMsg{Seq: d.u64("push-ack"), Applied: d.u8("push-ack") != 0}
 	return a, d.done("push-ack")
+}
+
+// nonceLen is the challenge nonce size. 32 random bytes make nonce
+// reuse (and therefore MAC replay) negligible over any deployment
+// lifetime.
+const nonceLen = 32
+
+// challengeMsg carries the coordinator's auth nonce.
+func marshalChallenge(nonce []byte) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(nonce)))
+	return append(buf, nonce...)
+}
+
+func unmarshalChallenge(b []byte) ([]byte, error) {
+	d := &decoder{buf: b}
+	nonce := append([]byte(nil), d.bytes("challenge")...)
+	if err := d.done("challenge"); err != nil {
+		return nil, err
+	}
+	if len(nonce) != nonceLen {
+		return nil, fmt.Errorf("coord: challenge nonce is %d bytes, want %d", len(nonce), nonceLen)
+	}
+	return nonce, nil
+}
+
+// authMsg answers a challenge with the MAC.
+func marshalAuth(mac []byte) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(mac)))
+	return append(buf, mac...)
+}
+
+func unmarshalAuth(b []byte) ([]byte, error) {
+	d := &decoder{buf: b}
+	mac := append([]byte(nil), d.bytes("auth")...)
+	return mac, d.done("auth")
+}
+
+// authMAC is the proof of secret knowledge: HMAC-SHA256 keyed by the
+// shared secret over nonce‖name. Binding the agent name into the MAC
+// stops a snooped handshake from being replayed under another
+// identity (the nonce already stops replaying it at all).
+func authMAC(secret string, nonce []byte, name string) []byte {
+	m := hmac.New(sha256.New, []byte(secret))
+	m.Write(nonce)
+	m.Write([]byte(name))
+	return m.Sum(nil)
+}
+
+// Rejection codes carried by msgError.
+const (
+	errCodeAuth    uint16 = 1 // bad or missing credentials
+	errCodeRate    uint16 = 2 // per-remote rate limit tripped
+	errCodeVersion uint16 = 3 // negotiated version cannot satisfy policy
+)
+
+// errorMsg is the versioned rejection frame: the speaker's protocol
+// version (so even a refused dialer learns what the coordinator
+// speaks), a machine-readable code, and human-readable text.
+type errorMsg struct {
+	Version uint16
+	Code    uint16
+	Text    string
+}
+
+func marshalError(e errorMsg) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, e.Version)
+	buf = binary.BigEndian.AppendUint16(buf, e.Code)
+	return appendStr(buf, e.Text)
+}
+
+func unmarshalError(b []byte) (errorMsg, error) {
+	d := &decoder{buf: b}
+	e := errorMsg{Version: d.u16("error"), Code: d.u16("error"), Text: d.str("error")}
+	return e, d.done("error")
 }
 
 // contributionToPush converts a tsstore Contribution into its wire

@@ -146,9 +146,10 @@ func TestNegotiate(t *testing.T) {
 		want     uint16
 		ok       bool
 	}{
-		{1, 1, 1, true},
-		{1, 9, 1, true}, // newest common is our Version
-		{2, 9, 0, false},
+		{1, 1, 1, true}, // legacy v1-only peer downgrades the session
+		{1, 9, 2, true}, // newest common is our Version
+		{2, 9, 2, true},
+		{3, 9, 0, false},
 		{0, 0, 0, false},
 	}
 	for _, c := range cases {

@@ -1,0 +1,68 @@
+package coord
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultRateBurst is the token-bucket depth when a rate is configured
+// without an explicit burst: enough for a small agent fleet behind one
+// NAT to register together, small enough that a dialer loop trips the
+// limit within a second.
+const DefaultRateBurst = 5
+
+// rateLimiter is a per-key token bucket family on the control-plane
+// clock. Keys are remote hosts (address minus port), so one
+// misbehaving machine throttles only itself. A nil limiter allows
+// everything — rates are opt-in.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+// newRateLimiter builds a limiter, or nil when rate is unset.
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = DefaultRateBurst
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: map[string]*tokenBucket{}}
+}
+
+// allow takes one token from key's bucket at the given clock reading,
+// reporting whether one was available. New keys start with a full
+// bucket.
+func (l *rateLimiter) allow(key string, now time.Duration) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if now > b.last {
+		b.tokens += l.rate * (now - b.last).Seconds()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,6 +1,8 @@
 package coord
 
 import (
+	"crypto/hmac"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +37,31 @@ type ServerConfig struct {
 	// appended (registration, grants, steals, expirations). Called with
 	// the server lock held — keep it fast.
 	OnEvent func(line string)
+
+	// Secret, when non-empty, requires every agent to prove knowledge
+	// of the same shared secret through an HMAC challenge before it may
+	// register. Needs protocol v2; v1 dialers are refused with a
+	// versioned error frame.
+	Secret string
+
+	// RegisterRate and PushRate are per-remote-host token-bucket rates
+	// in events/second (0 = unlimited); RateBurst is the bucket depth
+	// (0 selects DefaultRateBurst). Rejected dialers get a versioned
+	// error frame before the connection closes.
+	RegisterRate float64
+	PushRate     float64
+	RateBurst    float64
+
+	// Persist, when non-nil, receives every lease-state change and
+	// every applied push (see Persister). Persist errors are counted
+	// (PersistErrs) but never stop the control plane.
+	Persist Persister
+
+	// Restore, when non-nil, reinstates recovered state before the
+	// server accepts its first connection: leases by conflict-group
+	// member set (mismatches dropped with a transcript line), federated
+	// contributions by the per-(path, agent) Seq replace rule.
+	Restore *RestoreState
 }
 
 // Server is the coordinator: it accepts agent control sessions on a
@@ -44,9 +71,14 @@ type Server struct {
 	cfg   ServerConfig
 	start time.Time
 
-	mu  sync.Mutex
-	st  *State
-	fed *tsstore.Federation
+	mu          sync.Mutex
+	st          *State
+	fed         *tsstore.Federation
+	persistErrs uint64
+	persistErr  error
+
+	regLim  *rateLimiter
+	pushLim *rateLimiter
 
 	connMu sync.Mutex
 	conns  map[net.Conn]bool
@@ -74,11 +106,43 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if s.cfg.Now == nil {
 		s.cfg.Now = func() time.Duration { return time.Since(s.start) }
 	}
+	s.regLim = newRateLimiter(cfg.RegisterRate, cfg.RateBurst)
+	s.pushLim = newRateLimiter(cfg.PushRate, cfg.RateBurst)
+	if cfg.Restore != nil {
+		now := s.cfg.Now()
+		if cfg.Restore.HaveLeases {
+			s.emit(st.RestoreLeases(cfg.Restore.Leases, now))
+		}
+		for _, rc := range cfg.Restore.Contributions {
+			s.fed.Push(rc.Agent, rc.Path, rc.C)
+		}
+	}
 	if cfg.AutoTick {
 		s.wg.Add(1)
 		go s.tickLoop()
 	}
 	return s, nil
+}
+
+// PersistErrs reports how many Persist calls failed and the most
+// recent error.
+func (s *Server) PersistErrs() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistErrs, s.persistErr
+}
+
+// persistLeases snapshots the lease state into the Persister; callers
+// hold s.mu (which also serializes snapshots, so the log's last write
+// is always the newest state).
+func (s *Server) persistLeases() {
+	if s.cfg.Persist == nil {
+		return
+	}
+	if err := s.cfg.Persist.SaveLeases(s.st.LeaseSnapshot(s.cfg.Now())); err != nil {
+		s.persistErrs++
+		s.persistErr = err
+	}
 }
 
 // Federation exposes the underlying federated store (tests, embedding).
@@ -91,6 +155,9 @@ func (s *Server) Tick() []string {
 	defer s.mu.Unlock()
 	lines := s.st.Tick(s.cfg.Now())
 	s.emit(lines)
+	if len(lines) > 0 {
+		s.persistLeases()
+	}
 	return lines
 }
 
@@ -236,10 +303,52 @@ func (s *Server) dropConn(c net.Conn) {
 	s.connMu.Unlock()
 }
 
-// handleConn speaks one agent control session: hello handshake, then a
-// strict request/response loop (heartbeat → assign, push → push-ack).
-// A heartbeat from an agent the lease machine expired gets a bye so
-// the agent knows to re-register.
+// reject refuses a dialer with a versioned error frame; the caller
+// closes the connection.
+func (s *Server) reject(c net.Conn, code uint16, text string) {
+	writeFrame(c, msgError, marshalError(errorMsg{Version: Version, Code: code, Text: text}))
+}
+
+// remoteHost keys rate-limit buckets: the peer address minus the
+// port, so reconnecting from ephemeral ports shares one bucket.
+func remoteHost(c net.Conn) string {
+	addr := c.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
+// challenge runs the v2 auth exchange: nonce out, MAC back, constant
+// time compare. It reports whether the dialer proved the secret;
+// failures are answered with an error frame before returning.
+func (s *Server) challenge(c net.Conn, name string) bool {
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		s.reject(c, errCodeAuth, "challenge unavailable")
+		return false
+	}
+	if err := writeFrame(c, msgChallenge, marshalChallenge(nonce)); err != nil {
+		return false
+	}
+	t, payload, err := readFrame(c)
+	if err != nil || t != msgAuth {
+		s.reject(c, errCodeAuth, "expected auth answer")
+		return false
+	}
+	mac, err := unmarshalAuth(payload)
+	if err != nil || !hmac.Equal(mac, authMAC(s.cfg.Secret, nonce, name)) {
+		s.reject(c, errCodeAuth, "authentication failed")
+		return false
+	}
+	return true
+}
+
+// handleConn speaks one agent control session: hello handshake
+// (challenge/auth when a secret is configured), then a strict
+// request/response loop (heartbeat → assign, push → push-ack). A
+// heartbeat from an agent the lease machine expired gets a bye so the
+// agent knows to re-register.
 func (s *Server) handleConn(c net.Conn) {
 	defer c.Close()
 	defer s.dropConn(c)
@@ -252,16 +361,33 @@ func (s *Server) handleConn(c net.Conn) {
 	if err != nil || hello.Name == "" {
 		return
 	}
-	if _, err := Negotiate(hello.Min, hello.Max); err != nil {
+	ver, err := Negotiate(hello.Min, hello.Max)
+	if err != nil {
+		s.reject(c, errCodeVersion, err.Error())
 		return
+	}
+	host := remoteHost(c)
+	if !s.regLim.allow(host, s.cfg.Now()) {
+		s.reject(c, errCodeRate, "register rate limit exceeded")
+		return
+	}
+	if s.cfg.Secret != "" {
+		if ver < 2 {
+			s.reject(c, errCodeVersion, "authentication requires protocol v2")
+			return
+		}
+		if !s.challenge(c, hello.Name) {
+			return
+		}
 	}
 
 	s.mu.Lock()
 	regErr := s.st.Register(hello.Name, s.cfg.Now())
 	if regErr == nil {
 		s.emit(s.st.log[len(s.st.log)-1:])
+		s.persistLeases()
 	}
-	ack := helloAckMsg{Version: Version, TTL: s.st.TTL(), Epoch: s.st.Epoch()}
+	ack := helloAckMsg{Version: ver, TTL: s.st.TTL(), Epoch: s.st.Epoch()}
 	s.mu.Unlock()
 	if regErr != nil {
 		return
@@ -293,6 +419,10 @@ func (s *Server) handleConn(c net.Conn) {
 				return
 			}
 		case msgPush:
+			if !s.pushLim.allow(host, s.cfg.Now()) {
+				s.reject(c, errCodeRate, "push rate limit exceeded")
+				return
+			}
 			p, err := unmarshalPush(payload)
 			if err != nil {
 				return
@@ -305,6 +435,14 @@ func (s *Server) handleConn(c net.Conn) {
 				continue
 			}
 			applied := s.fed.Push(hello.Name, p.Path, contrib)
+			if applied && s.cfg.Persist != nil {
+				if perr := s.cfg.Persist.SaveContribution(hello.Name, p.Path, contrib); perr != nil {
+					s.mu.Lock()
+					s.persistErrs++
+					s.persistErr = perr
+					s.mu.Unlock()
+				}
+			}
 			if err := writeFrame(c, msgPushAck, marshalPushAck(pushAckMsg{Seq: p.Seq, Applied: applied})); err != nil {
 				return
 			}

@@ -164,7 +164,7 @@ func (f *Federation) Snapshot() *Store {
 			se.errs += c.Errors
 			se.digest.Merge(c.Digest)
 		}
-		st.series[path] = se
+		st.mem.series[path] = se
 	}
 	return st
 }

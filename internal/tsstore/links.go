@@ -42,7 +42,8 @@ type linkSeries struct {
 	total uint64
 }
 
-func (s *linkSeries) push(p LinkPoint) {
+// insert is the ring-only half of push, as on the per-path series.
+func (s *linkSeries) insert(p LinkPoint) {
 	if s.n < len(s.pts) {
 		s.pts[(s.head+s.n)%len(s.pts)] = p
 		s.n++
@@ -50,6 +51,10 @@ func (s *linkSeries) push(p LinkPoint) {
 		s.pts[s.head] = p
 		s.head = (s.head + 1) % len(s.pts)
 	}
+}
+
+func (s *linkSeries) push(p LinkPoint) {
+	s.insert(p)
 	s.total++
 }
 
@@ -60,23 +65,20 @@ func (s *linkSeries) at(i int) LinkPoint { return s.pts[(s.head+i)%len(s.pts)] }
 // mesh.(*Mesh).NewLinkRecorder; safe for concurrent use with every
 // other store method.
 func (st *Store) ObserveLink(link string, round int, at, span time.Duration, util, capacity float64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	se := st.links[link]
-	if se == nil {
-		se = &linkSeries{pts: make([]LinkPoint, st.cfg.Capacity)}
-		st.links[link] = se
+	p := LinkPoint{Round: round, At: at, Span: span, Util: util, Capacity: capacity}
+	st.mem.AppendLink(link, p)
+	if st.dur != nil {
+		st.noteDurErr(st.dur.AppendLink(link, p))
 	}
-	se.push(LinkPoint{Round: round, At: at, Span: span, Util: util, Capacity: capacity})
 }
 
 // Links returns the known link names, sorted, so every rendering of
 // the link series is deterministic.
 func (st *Store) Links() []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	names := make([]string, 0, len(st.links))
-	for name := range st.links {
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	names := make([]string, 0, len(st.mem.links))
+	for name := range st.mem.links {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -86,9 +88,9 @@ func (st *Store) Links() []string {
 // LinkLen returns the number of retained windows for link (0 for
 // unknown links).
 func (st *Store) LinkLen(link string) int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if se := st.links[link]; se != nil {
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	if se := st.mem.links[link]; se != nil {
 		return se.n
 	}
 	return 0
@@ -97,9 +99,9 @@ func (st *Store) LinkLen(link string) int {
 // LinkTotal returns how many windows the link has ever delivered
 // (retained + evicted).
 func (st *Store) LinkTotal(link string) uint64 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if se := st.links[link]; se != nil {
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	if se := st.mem.links[link]; se != nil {
 		return se.total
 	}
 	return 0
@@ -108,9 +110,9 @@ func (st *Store) LinkTotal(link string) uint64 {
 // LinkSnapshot copies the link's retained windows in chronological
 // order (nil for unknown links).
 func (st *Store) LinkSnapshot(link string) []LinkPoint {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.links[link]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.links[link]
 	if se == nil {
 		return nil
 	}
@@ -124,9 +126,9 @@ func (st *Store) LinkSnapshot(link string) []LinkPoint {
 // LinkLast returns the link's most recent retained window; ok is false
 // for unknown or empty links.
 func (st *Store) LinkLast(link string) (LinkPoint, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.links[link]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.links[link]
 	if se == nil || se.n == 0 {
 		return LinkPoint{}, false
 	}

@@ -21,7 +21,6 @@
 package tsstore
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -100,8 +99,11 @@ type series struct {
 	digest *Digest // all-time digest of OK mid-range estimates
 }
 
-// push appends a point, evicting the oldest when full.
-func (s *series) push(p Point) {
+// insert places a point into the ring, evicting the oldest when full,
+// without touching the all-time counters or digest — the ring-only
+// half of push, used directly when replaying records whose counter
+// contribution comes from a checkpoint instead.
+func (s *series) insert(p Point) {
 	if s.n < len(s.pts) {
 		s.pts[(s.head+s.n)%len(s.pts)] = p
 		s.n++
@@ -109,6 +111,11 @@ func (s *series) push(p Point) {
 		s.pts[s.head] = p
 		s.head = (s.head + 1) % len(s.pts)
 	}
+}
+
+// push appends a point, evicting the oldest when full.
+func (s *series) push(p Point) {
+	s.insert(p)
 	s.total++
 	if p.OK() {
 		s.digest.Add(p.Mid())
@@ -120,31 +127,40 @@ func (s *series) push(p Point) {
 // at returns the i-th retained point in chronological order.
 func (s *series) at(i int) Point { return s.pts[(s.head+i)%len(s.pts)] }
 
-// A Store retains per-path avail-bw series. Create with New; feed it
-// by setting it as a MonitorConfig.Store (or by calling Observe
+// A Store retains per-path avail-bw series. Create with New (or
+// NewWithBackend to tee ingest into a durable Backend); feed it by
+// setting it as a MonitorConfig.Store (or by calling Observe
 // directly). The zero Store is not usable.
+//
+// Serving always comes from the in-memory ring tier: a durable
+// backend, when present, is write-through on ingest and consulted only
+// at recovery time (ReplayPoint/SeedSeries and friends rebuild the
+// rings from it).
 type Store struct {
 	cfg Config
+	mem *MemBackend
+	dur Backend
 
-	mu     sync.RWMutex
-	series map[string]*series
-	links  map[string]*linkSeries
+	durMu   sync.Mutex
+	durErrs uint64
+	durErr  error
 }
 
 // New creates an empty store. It panics on a negative Capacity or
 // DigestSize: silent acceptance would turn every path into a zero-size
 // ring that remembers nothing.
 func New(cfg Config) *Store {
-	if cfg.Capacity < 0 || cfg.DigestSize < 0 {
-		panic(fmt.Sprintf("tsstore: negative Capacity %d or DigestSize %d", cfg.Capacity, cfg.DigestSize))
-	}
-	if cfg.Capacity == 0 {
-		cfg.Capacity = DefaultCapacity
-	}
-	if cfg.DigestSize == 0 {
-		cfg.DigestSize = DefaultDigestSize
-	}
-	return &Store{cfg: cfg, series: map[string]*series{}, links: map[string]*linkSeries{}}
+	return NewWithBackend(cfg, nil)
+}
+
+// NewWithBackend creates an empty store whose ingest is teed into dur
+// (nil behaves like New). Observe cannot return an error, so append
+// failures of the durable tier are counted and kept — the in-memory
+// series stay correct regardless — and reported by BackendErrs; the
+// caller decides whether a lossy archive is fatal.
+func NewWithBackend(cfg Config, dur Backend) *Store {
+	mem := NewMemBackend(cfg)
+	return &Store{cfg: mem.cfg, mem: mem, dur: dur}
 }
 
 // Observe records one monitor sample into the path's ring. It
@@ -163,23 +179,79 @@ func (st *Store) Observe(s pathload.Sample) {
 	} else {
 		p.Lo, p.Hi = s.Result.Lo, s.Result.Hi
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	se := st.series[s.Path]
-	if se == nil {
-		se = &series{pts: make([]Point, st.cfg.Capacity), digest: NewDigest(st.cfg.DigestSize)}
-		st.series[s.Path] = se
+	st.mem.AppendPoint(s.Path, p)
+	if st.dur != nil {
+		st.noteDurErr(st.dur.AppendPoint(s.Path, p))
 	}
-	se.push(p)
+}
+
+// noteDurErr counts a durable-tier append failure (nil is a no-op).
+func (st *Store) noteDurErr(err error) {
+	if err == nil {
+		return
+	}
+	st.durMu.Lock()
+	st.durErrs++
+	st.durErr = err
+	st.durMu.Unlock()
+}
+
+// BackendErrs reports how many durable-backend appends have failed
+// since the store was created, and the most recent failure. Zero and
+// nil for stores without a durable backend (or without failures).
+func (st *Store) BackendErrs() (n uint64, last error) {
+	st.durMu.Lock()
+	defer st.durMu.Unlock()
+	return st.durErrs, st.durErr
+}
+
+// Close closes the durable backend, if any. The in-memory tier remains
+// readable; further ingest would be lost to the archive, so callers
+// close only after the monitor has stopped.
+func (st *Store) Close() error {
+	if st.dur != nil {
+		return st.dur.Close()
+	}
+	return nil
+}
+
+// ReplayPoint re-inserts a recovered point into the path's ring,
+// bypassing the durable backend (the record is already durable — that
+// is where it came from). Counted replays contribute to the all-time
+// totals and digest like live samples; uncounted replays touch only
+// the ring, for records a later checkpoint already summarizes (their
+// counters arrive via SeedSeries — counting them twice is the classic
+// replay double-count).
+func (st *Store) ReplayPoint(path string, p Point, counted bool) {
+	st.mem.replayPoint(path, p, counted)
+}
+
+// ReplayLink re-inserts a recovered link window; counted as in
+// ReplayPoint.
+func (st *Store) ReplayLink(link string, p LinkPoint, counted bool) {
+	st.mem.replayLink(link, p, counted)
+}
+
+// SeedSeries primes a path's all-time counters and digest from a
+// checkpoint, overwriting whatever replay accumulated so far (d may be
+// nil to keep the current digest). Recovery order is: uncounted replay
+// of checkpointed records, SeedSeries, counted replay of the tail.
+func (st *Store) SeedSeries(path string, total, errs uint64, d *Digest) {
+	st.mem.seedSeries(path, total, errs, d)
+}
+
+// SeedLink primes a link's all-time window count from a checkpoint.
+func (st *Store) SeedLink(link string, total uint64) {
+	st.mem.seedLink(link, total)
 }
 
 // Paths returns the known path identifiers, sorted, so that every
 // rendering of the store is deterministic.
 func (st *Store) Paths() []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	ids := make([]string, 0, len(st.series))
-	for id := range st.series {
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	ids := make([]string, 0, len(st.mem.series))
+	for id := range st.mem.series {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -189,9 +261,9 @@ func (st *Store) Paths() []string {
 // Len returns the number of retained points for path (0 for unknown
 // paths).
 func (st *Store) Len(path string) int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if se := st.series[path]; se != nil {
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	if se := st.mem.series[path]; se != nil {
 		return se.n
 	}
 	return 0
@@ -202,9 +274,9 @@ func (st *Store) Len(path string) int {
 // path's series from here (pathload.PathState), so round numbering and
 // the path-local clock stay monotone across monitor restarts.
 func (st *Store) Last(path string) (Point, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil || se.n == 0 {
 		return Point{}, false
 	}
@@ -216,9 +288,9 @@ func (st *Store) Last(path string) (Point, bool) {
 // to mutate or marshal — it is how an agent ships its eviction-proof
 // distribution summary to a federating coordinator.
 func (st *Store) DigestSnapshot(path string) *Digest {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil {
 		return nil
 	}
@@ -228,9 +300,9 @@ func (st *Store) DigestSnapshot(path string) *Digest {
 // Totals returns how many samples the path has ever delivered
 // (retained + evicted) and how many of them failed.
 func (st *Store) Totals(path string) (samples, errors uint64) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if se := st.series[path]; se != nil {
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	if se := st.mem.series[path]; se != nil {
 		return se.total, se.errs
 	}
 	return 0, 0
@@ -238,9 +310,9 @@ func (st *Store) Totals(path string) (samples, errors uint64) {
 
 // Snapshot copies the path's retained points in chronological order.
 func (st *Store) Snapshot(path string) []Point {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil {
 		return nil
 	}
@@ -254,9 +326,9 @@ func (st *Store) Snapshot(path string) []Point {
 // Query returns the retained points whose measurement start At falls
 // in the half-open window [from, to), in chronological order.
 func (st *Store) Query(path string, from, to time.Duration) []Point {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil {
 		return nil
 	}
@@ -282,9 +354,9 @@ func (st *Store) Query(path string, from, to time.Duration) []Point {
 // the monitor feeds, closing the tsstore → scheduler loop, so quiet
 // paths probe rarely and volatile paths often.
 func (st *Store) RelVar(path string, window time.Duration) (rho float64, ok bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil || se.n == 0 {
 		return 0, false
 	}
@@ -320,9 +392,9 @@ func (st *Store) RelVar(path string, window time.Duration) (rho float64, ok bool
 // estimates over all time (the running digest, eviction-proof). It
 // returns NaN for unknown paths and paths with no successful rounds.
 func (st *Store) Quantile(path string, q float64) float64 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil {
 		return math.NaN()
 	}
@@ -341,9 +413,9 @@ type view struct {
 
 // view snapshots one path atomically; ok is false for unknown paths.
 func (st *Store) view(path string) (v view, ok bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	se := st.series[path]
+	st.mem.mu.RLock()
+	defer st.mem.mu.RUnlock()
+	se := st.mem.series[path]
 	if se == nil {
 		return view{}, false
 	}

@@ -131,6 +131,16 @@ type MonitorConfig struct {
 	// defaults documented on the Reconnect type; it is ignored for
 	// paths added with AddPath.
 	Reconnect Reconnect
+	// Resume, when non-nil, supplies the starting PathState for every
+	// path at Start (paths registered with explicit state via
+	// AddPathFactoryResume keep it; all others — AddPath and
+	// AddPathFactory alike — consult the hook). Wire it to
+	// tsstore.Resume over a store recovered from a durable archive and
+	// a restarted monitor continues every series where it left off —
+	// monotone rounds, advancing path-local clocks — instead of
+	// rewinding to round 0. Returning the zero PathState means a fresh
+	// path; negative state makes Start fail.
+	Resume func(path string) PathState
 	// Driver, when non-nil, takes over time and session lifecycle (see
 	// the Driver interface). Setting it restricts the monitor to
 	// AddPath sessions with nil Admission: factory healing needs wall
@@ -442,6 +452,18 @@ func (m *Monitor) Start() error {
 		}
 		if m.cfg.Admission != nil {
 			return fmt.Errorf("pathload: monitor Driver is incompatible with an Admission policy: a session blocked in admission would stall the driver's fleet round")
+		}
+	}
+	if m.cfg.Resume != nil {
+		for _, s := range m.sessions {
+			if s.resume != (PathState{}) {
+				continue // explicit AddPathFactoryResume state wins
+			}
+			st := m.cfg.Resume(s.id)
+			if st.Round < 0 || st.At < 0 {
+				return fmt.Errorf("pathload: Resume(%q) returned negative state", s.id)
+			}
+			s.resume = st
 		}
 	}
 	m.started = true
